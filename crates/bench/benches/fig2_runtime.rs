@@ -1,0 +1,51 @@
+//! Figure 2: end-to-end pipeline runtime, BS-CURE vs RS-CURE, as a
+//! function of the sample size. The series the paper plots is exactly
+//! these timings; the quadratic growth in sample size and the bounded
+//! biased-over-uniform overhead are the claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbs_bench::{bench_kde, bench_workload};
+use dbs_cluster::{hierarchical_cluster, HierarchicalConfig};
+use dbs_sampling::{bernoulli_sample, density_biased_sample, BiasedConfig};
+
+fn fig2(c: &mut Criterion) {
+    let synth = bench_workload(50_000, 1);
+    let est = bench_kde(&synth.data, 1000, 2);
+    let mut group = c.benchmark_group("fig2_runtime");
+    group.sample_size(10);
+    for &b in &[500usize, 1000, 2000] {
+        group.bench_with_input(BenchmarkId::new("bs_cure", b), &b, |bench, &b| {
+            bench.iter(|| {
+                // Estimator is refit inside: the figure includes its cost.
+                let est = bench_kde(&synth.data, 1000, 2);
+                let (sample, _) = density_biased_sample(
+                    &synth.data,
+                    &est,
+                    &BiasedConfig::new(b, 0.5).with_seed(3),
+                )
+                .unwrap();
+                hierarchical_cluster(sample.points(), &HierarchicalConfig::paper_defaults(10))
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rs_cure", b), &b, |bench, &b| {
+            bench.iter(|| {
+                let sample = bernoulli_sample(&synth.data, b, 4).unwrap();
+                hierarchical_cluster(sample.points(), &HierarchicalConfig::paper_defaults(10))
+                    .unwrap()
+            });
+        });
+        // The sampling machinery alone (isolates the estimator+passes
+        // overhead the paper argues is "more than offset").
+        group.bench_with_input(BenchmarkId::new("bs_sampling_only", b), &b, |bench, &b| {
+            bench.iter(|| {
+                density_biased_sample(&synth.data, &est, &BiasedConfig::new(b, 0.5).with_seed(3))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

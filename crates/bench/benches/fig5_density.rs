@@ -1,0 +1,40 @@
+//! Figure 5: variable-density workload — cost of the competing samplers
+//! per drawn sample (the paper's own biased sampler at a < 0 vs the
+//! Palmer–Faloutsos grid/hash method vs uniform), across sample sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbs_bench::{bench_kde, bench_workload_variable};
+use dbs_sampling::{
+    bernoulli_sample, density_biased_sample, grid_biased_sample, BiasedConfig, GridBiasedConfig,
+};
+
+fn fig5(c: &mut Criterion) {
+    let synth = bench_workload_variable(20_000, 8);
+    let est = bench_kde(&synth.data, 500, 9);
+    let mut group = c.benchmark_group("fig5_density");
+    group.sample_size(10);
+    for &b in &[200usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("biased_a-0.5", b), &b, |bench, &b| {
+            bench.iter(|| {
+                density_biased_sample(&synth.data, &est, &BiasedConfig::new(b, -0.5)).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("biased_a-0.25", b), &b, |bench, &b| {
+            bench.iter(|| {
+                density_biased_sample(&synth.data, &est, &BiasedConfig::new(b, -0.25)).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("grid_pf_e-0.5", b), &b, |bench, &b| {
+            bench.iter(|| {
+                grid_biased_sample(&synth.data, &GridBiasedConfig::new(b, -0.5)).unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("uniform", b), &b, |bench, &b| {
+            bench.iter(|| bernoulli_sample(&synth.data, b, 10).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 7 / §4.3 kernel scaling: estimator construction and evaluation
+//! cost as the number of kernels grows (the accuracy side is
+//! `experiments fig7`). The paper's claim: runtime scales linearly in the
+//! kernel count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbs_bench::{bench_kde, bench_workload};
+use dbs_density::DensityEstimator;
+
+fn fig7(c: &mut Criterion) {
+    let synth = bench_workload(20_000, 11);
+    let mut group = c.benchmark_group("fig7_kernels");
+    group.sample_size(10);
+    for &kernels in &[100usize, 400, 1200] {
+        group.bench_with_input(BenchmarkId::new("fit", kernels), &kernels, |bench, &ks| {
+            bench.iter(|| bench_kde(&synth.data, ks, 12));
+        });
+        let est = bench_kde(&synth.data, kernels, 12);
+        group.bench_with_input(
+            BenchmarkId::new("evaluate_10k", kernels),
+            &kernels,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut acc = 0.0;
+                    for p in synth.data.iter().take(10_000) {
+                        acc += est.density(p);
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

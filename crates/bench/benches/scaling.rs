@@ -1,0 +1,39 @@
+//! §4.3 scaling claims: estimator + sampling cost vs dataset size
+//! (linear), at the paper's 1000-kernel setting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbs_bench::{bench_kde, bench_workload};
+use dbs_sampling::{density_biased_sample, one_pass_biased_sample, BiasedConfig};
+
+fn scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_size");
+    group.sample_size(10);
+    for &n in &[10_000usize, 20_000, 40_000] {
+        let synth = bench_workload(n, 13);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("fit_plus_sample", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let est = bench_kde(&synth.data, 1000, 14);
+                density_biased_sample(&synth.data, &est, &BiasedConfig::new(n / 100, 1.0))
+                    .unwrap()
+            });
+        });
+        let est = bench_kde(&synth.data, 1000, 14);
+        group.bench_with_input(BenchmarkId::new("two_pass_sample", n), &n, |bench, &n| {
+            bench.iter(|| {
+                density_biased_sample(&synth.data, &est, &BiasedConfig::new(n / 100, 1.0))
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("one_pass_sample", n), &n, |bench, &n| {
+            bench.iter(|| {
+                one_pass_biased_sample(&synth.data, &est, &BiasedConfig::new(n / 100, 1.0))
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Substrate micro-benches: the spatial index and clustering building
+//! blocks everything else stands on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbs_bench::{bench_workload, bench_workload_noisy};
+use dbs_cluster::{hierarchical_cluster, kmeans, Birch, BirchConfig, HierarchicalConfig, KMeansConfig};
+use dbs_core::BoundingBox;
+use dbs_spatial::{GridIndex, KdTree};
+
+fn spatial(c: &mut Criterion) {
+    let synth = bench_workload(20_000, 25);
+    let data = &synth.data;
+    let mut group = c.benchmark_group("substrate_spatial");
+    group.sample_size(10);
+    group.bench_function("kdtree_build_20k", |bench| {
+        bench.iter(|| KdTree::build(data));
+    });
+    let tree = KdTree::build(data);
+    group.bench_function("kdtree_knn10_x1000", |bench| {
+        bench.iter(|| {
+            let mut acc = 0usize;
+            for p in data.iter().take(1000) {
+                acc += tree.k_nearest(data, p, 10).len();
+            }
+            acc
+        });
+    });
+    group.bench_function("kdtree_count_within_x1000", |bench| {
+        bench.iter(|| {
+            let mut acc = 0usize;
+            for p in data.iter().take(1000) {
+                acc += tree.count_within(data, p, 0.05);
+            }
+            acc
+        });
+    });
+    group.bench_function("gridindex_build_20k", |bench| {
+        bench.iter(|| GridIndex::build(data, BoundingBox::unit(2), 32));
+    });
+    let grid = GridIndex::build(data, BoundingBox::unit(2), 32);
+    group.bench_function("gridindex_count_within_x1000", |bench| {
+        bench.iter(|| {
+            let mut acc = 0usize;
+            for p in data.iter().take(1000) {
+                acc += grid.count_within(data, p, 0.05);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn clustering(c: &mut Criterion) {
+    let synth = bench_workload_noisy(20_000, 0.2, 26);
+    let sample = dbs_sampling::bernoulli_sample(&synth.data, 600, 27).unwrap();
+    let mut group = c.benchmark_group("substrate_clustering");
+    group.sample_size(10);
+    group.bench_function("hierarchical_600", |bench| {
+        bench.iter(|| {
+            hierarchical_cluster(sample.points(), &HierarchicalConfig::paper_defaults(10))
+                .unwrap()
+        });
+    });
+    group.bench_function("kmeans_600", |bench| {
+        bench.iter(|| {
+            kmeans(sample.points(), sample.weights(), &KMeansConfig::new(10)).unwrap()
+        });
+    });
+    group.bench_function("birch_full_20k", |bench| {
+        bench.iter(|| {
+            Birch::run_dataset(&synth.data, &BirchConfig::paper_defaults(10, 600, 2)).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, spatial, clustering);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! §2 analytical table: cost of the Guha-bound / Theorem 1 computations
+//! (trivially fast; included so every table has a bench target).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbs_sampling::theory::{theorem1_row, uniform_sample_size};
+
+fn theory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory");
+    group.bench_function("uniform_sample_size", |bench| {
+        bench.iter(|| uniform_sample_size(1_000_000, 1000, 0.2, 0.1));
+    });
+    group.bench_function("theorem1_row", |bench| {
+        bench.iter(|| theorem1_row(1_000_000, 1000, 0.2, 0.1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, theory);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Shared workload builders for the Criterion benches.
+//!
+//! Each bench target regenerates the measurable side of one paper figure or
+//! table (see DESIGN.md §4 for the full index). Workloads here are sized
+//! for repeated measurement on one core; the `experiments` binary runs the
+//! full-size versions (`--paper`).
+
+use dbs_core::{BoundingBox, Dataset};
+use dbs_density::{KdeConfig, KernelDensityEstimator};
+use dbs_synth::noise::with_noise_fraction;
+use dbs_synth::rect::{generate, RectConfig, SizeProfile};
+use dbs_synth::SyntheticDataset;
+
+/// Standard bench workload: `n` points, 10 equal clusters, 2-d.
+pub fn bench_workload(n: usize, seed: u64) -> SyntheticDataset {
+    let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(2, seed) };
+    generate(&cfg, &SizeProfile::Equal).expect("bench workload generates")
+}
+
+/// Noisy variant.
+pub fn bench_workload_noisy(n: usize, noise: f64, seed: u64) -> SyntheticDataset {
+    with_noise_fraction(bench_workload(n, seed), noise, seed ^ 0xbe)
+}
+
+/// Variable-density variant (10x spread).
+pub fn bench_workload_variable(n: usize, seed: u64) -> SyntheticDataset {
+    let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(2, seed) };
+    generate(&cfg, &SizeProfile::VariableDensity { ratio: 10.0 }).expect("generates")
+}
+
+/// A fitted KDE with the given number of centers over `data`.
+pub fn bench_kde(data: &Dataset, centers: usize, seed: u64) -> KernelDensityEstimator {
+    let cfg = KdeConfig {
+        num_centers: centers,
+        domain: Some(BoundingBox::unit(data.dim())),
+        seed,
+        ..Default::default()
+    };
+    KernelDensityEstimator::fit_dataset(data, &cfg).expect("kde fits")
+}

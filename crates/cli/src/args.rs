@@ -1,0 +1,207 @@
+//! Hand-rolled argument parsing for the `dbs` tool (no external parser in
+//! the allowed dependency set).
+
+use std::collections::HashMap;
+
+/// A parsed `dbs` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    /// The subcommand.
+    pub command: Command,
+    /// Input dataset path.
+    pub input: String,
+    /// All `--key value` options.
+    pub options: HashMap<String, String>,
+}
+
+/// The `dbs` subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Print dataset shape and bounding box.
+    Info,
+    /// Draw a density-biased (or uniform) sample.
+    Sample,
+    /// Sample and cluster, reporting cluster summaries.
+    Cluster,
+    /// Detect DB(p,k) outliers with density pruning.
+    Outliers,
+    /// Evaluate the density estimate at a point.
+    Density,
+}
+
+impl Command {
+    fn from_str(s: &str) -> Option<Command> {
+        match s {
+            "info" => Some(Command::Info),
+            "sample" => Some(Command::Sample),
+            "cluster" => Some(Command::Cluster),
+            "outliers" => Some(Command::Outliers),
+            "density" => Some(Command::Density),
+            _ => None,
+        }
+    }
+}
+
+/// The usage string printed on parse errors.
+pub const USAGE: &str = "\
+usage: dbs <command> <input-file> [options]
+
+commands:
+  info      print dataset shape and bounding box
+  sample    draw a density-biased sample
+              --size N        target sample size (default 1000)
+              --exponent A    bias exponent a (default 1.0; 0 = uniform)
+              --kernels K     kernel centers (default 1000)
+              --output FILE   write sampled points (text format)
+              --weights FILE  also write the 1/p importance weights
+  cluster   sample then run hierarchical clustering
+              --clusters K    target cluster count (default 10)
+              --size/--exponent/--kernels as for sample
+              --no-trim       disable CURE noise trimming
+  outliers  detect DB(p,k) outliers
+              --radius K      neighborhood radius (normalized units)
+              --neighbors P   max neighbors for an outlier (default 3)
+              --kernels K     kernel centers (default 1000)
+              --slack S       pruning slack (default 3)
+  density   evaluate the density estimate
+              --at X,Y,...    query point (original coordinates)
+              --kernels K     kernel centers (default 1000)
+common options:
+  --seed N    RNG seed (default 0)
+";
+
+/// Parses raw arguments (without the program name).
+pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .and_then(|s| Command::from_str(s))
+        .ok_or_else(|| "missing or unknown command".to_string())?;
+    let input = it.next().cloned().ok_or_else(|| "missing input file".to_string())?;
+    if input.starts_with("--") {
+        return Err(format!("expected input file, got option {input}"));
+    }
+    let mut options = HashMap::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i];
+        if !key.starts_with("--") {
+            return Err(format!("expected an option, got {key}"));
+        }
+        let name = key.trim_start_matches("--").to_string();
+        // Boolean flags take no value.
+        if name == "no-trim" {
+            options.insert(name, "true".into());
+            i += 1;
+            continue;
+        }
+        let value = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("option {key} needs a value"))?;
+        options.insert(name, value.to_string());
+        i += 2;
+    }
+    Ok(ParsedArgs { command, input, options })
+}
+
+impl ParsedArgs {
+    /// Typed option lookup with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// Typed option lookup with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        }
+    }
+
+    /// Typed option lookup with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// String option.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Boolean flag.
+    pub fn get_flag(&self, key: &str) -> bool {
+        self.options.get(key).map(|v| v == "true").unwrap_or(false)
+    }
+
+    /// Comma-separated point option (`--at 0.5,0.5`).
+    pub fn get_point(&self, key: &str) -> Result<Option<Vec<f64>>, String> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                let coords: Result<Vec<f64>, _> =
+                    v.split(',').map(|t| t.trim().parse::<f64>()).collect();
+                coords
+                    .map(Some)
+                    .map_err(|_| format!("--{key} expects comma-separated numbers, got {v:?}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_basic_command() {
+        let p = parse(&strs(&["sample", "data.txt", "--size", "500"])).unwrap();
+        assert_eq!(p.command, Command::Sample);
+        assert_eq!(p.input, "data.txt");
+        assert_eq!(p.get_usize("size", 1000).unwrap(), 500);
+        assert_eq!(p.get_usize("kernels", 1000).unwrap(), 1000);
+    }
+
+    #[test]
+    fn parses_flags_and_floats() {
+        let p = parse(&strs(&["cluster", "d.bin", "--exponent", "-0.5", "--no-trim"])).unwrap();
+        assert_eq!(p.get_f64("exponent", 1.0).unwrap(), -0.5);
+        assert!(p.get_flag("no-trim"));
+        assert!(!p.get_flag("verbose"));
+    }
+
+    #[test]
+    fn parses_point_option() {
+        let p = parse(&strs(&["density", "d.txt", "--at", "0.5, 0.25,1"])).unwrap();
+        assert_eq!(p.get_point("at").unwrap(), Some(vec![0.5, 0.25, 1.0]));
+        assert_eq!(p.get_point("missing").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_invocations() {
+        assert!(parse(&strs(&[])).is_err());
+        assert!(parse(&strs(&["frobnicate", "x"])).is_err());
+        assert!(parse(&strs(&["sample"])).is_err());
+        assert!(parse(&strs(&["sample", "--size"])).is_err());
+        assert!(parse(&strs(&["sample", "d.txt", "--size"])).is_err());
+        assert!(parse(&strs(&["sample", "d.txt", "oops"])).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let p = parse(&strs(&["sample", "d.txt", "--size", "abc"])).unwrap();
+        assert!(p.get_usize("size", 10).is_err());
+        let p = parse(&strs(&["density", "d.txt", "--at", "1,x"])).unwrap();
+        assert!(p.get_point("at").is_err());
+    }
+}

@@ -1,0 +1,331 @@
+//! Implementations of the `dbs` subcommands.
+//!
+//! Each command loads the dataset (text or `DBS1` binary by extension),
+//! min-max normalizes it to the unit cube for estimation — the paper's
+//! canonical domain — and reports results in original coordinates.
+
+use std::io::Write;
+use std::path::Path;
+
+use dbs_cluster::{hierarchical_cluster, HierarchicalConfig, NOISE};
+use dbs_core::io::{read_binary, read_text, write_text};
+use dbs_core::{BoundingBox, Dataset, MinMaxScaler};
+use dbs_density::{DensityEstimator, KdeConfig, KernelDensityEstimator};
+use dbs_outlier::{approx_outliers, ApproxConfig, DbOutlierParams};
+use dbs_sampling::{density_biased_sample, BiasedConfig};
+
+use crate::args::{Command, ParsedArgs};
+
+/// Runs a parsed invocation, writing human-readable output to `out`.
+pub fn run(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
+    let data = load(&args.input)?;
+    match args.command {
+        Command::Info => info(&data, out),
+        Command::Sample => sample(args, &data, out),
+        Command::Cluster => cluster(args, &data, out),
+        Command::Outliers => outliers(args, &data, out),
+        Command::Density => density(args, &data, out),
+    }
+}
+
+fn load(path: &str) -> Result<Dataset, String> {
+    let p = Path::new(path);
+    let result = if p.extension().map(|e| e == "dbs1" || e == "bin").unwrap_or(false) {
+        read_binary(p)
+    } else {
+        read_text(p)
+    };
+    result.map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn io_err(e: std::io::Error) -> String {
+    format!("write failed: {e}")
+}
+
+fn normalize(data: &Dataset) -> Result<(Dataset, MinMaxScaler), String> {
+    MinMaxScaler::fit_transform(data).map_err(|e| e.to_string())
+}
+
+fn fit_kde(
+    scaled: &Dataset,
+    args: &ParsedArgs,
+) -> Result<KernelDensityEstimator, String> {
+    let kernels = args.get_usize("kernels", 1000)?;
+    let cfg = KdeConfig {
+        num_centers: kernels,
+        domain: Some(BoundingBox::unit(scaled.dim())),
+        seed: args.get_u64("seed", 0)?,
+        ..Default::default()
+    };
+    KernelDensityEstimator::fit_dataset(scaled, &cfg).map_err(|e| e.to_string())
+}
+
+fn info(data: &Dataset, out: &mut dyn Write) -> Result<(), String> {
+    writeln!(out, "points:     {}", data.len()).map_err(io_err)?;
+    writeln!(out, "dimensions: {}", data.dim()).map_err(io_err)?;
+    if let Some(bb) = data.bounding_box() {
+        writeln!(out, "min:        {:?}", bb.min()).map_err(io_err)?;
+        writeln!(out, "max:        {:?}", bb.max()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn sample(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(), String> {
+    let (scaled, scaler) = normalize(data)?;
+    let est = fit_kde(&scaled, args)?;
+    let b = args.get_usize("size", 1000)?;
+    let a = args.get_f64("exponent", 1.0)?;
+    let cfg = BiasedConfig::new(b, a).with_seed(args.get_u64("seed", 0)?);
+    let (s, stats) =
+        density_biased_sample(&scaled, &est, &cfg).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "sampled {} of {} points (target {b}, a = {a}, normalizer k = {:.4e}, {} clipped)",
+        s.len(),
+        data.len(),
+        stats.normalizer_k,
+        stats.clipped
+    )
+    .map_err(io_err)?;
+
+    // Write points in ORIGINAL coordinates.
+    let original = data.select(s.source_indices());
+    if let Some(path) = args.get_str("output") {
+        write_text(Path::new(path), &original).map_err(|e| e.to_string())?;
+        writeln!(out, "wrote sample to {path}").map_err(io_err)?;
+    }
+    if let Some(path) = args.get_str("weights") {
+        let mut w = String::new();
+        for weight in s.weights() {
+            w.push_str(&format!("{weight}\n"));
+        }
+        std::fs::write(path, w).map_err(|e| e.to_string())?;
+        writeln!(out, "wrote weights to {path}").map_err(io_err)?;
+    }
+    if args.get_str("output").is_none() {
+        // No file requested: print the first few sampled points.
+        for p in original.iter().take(5) {
+            writeln!(out, "  {p:?}").map_err(io_err)?;
+        }
+        if original.len() > 5 {
+            writeln!(out, "  ... ({} more; use --output FILE)", original.len() - 5)
+                .map_err(io_err)?;
+        }
+    }
+    let _ = scaler;
+    Ok(())
+}
+
+fn cluster(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(), String> {
+    let (scaled, scaler) = normalize(data)?;
+    let est = fit_kde(&scaled, args)?;
+    let b = args.get_usize("size", 1000)?;
+    let a = args.get_f64("exponent", 1.0)?;
+    let k = args.get_usize("clusters", 10)?;
+    let cfg = BiasedConfig::new(b, a).with_seed(args.get_u64("seed", 0)?);
+    let (s, _) = density_biased_sample(&scaled, &est, &cfg).map_err(|e| e.to_string())?;
+    let mut hc = HierarchicalConfig::paper_defaults(k);
+    if args.get_flag("no-trim") {
+        hc.trim_min_size = 0;
+    }
+    let clustering = hierarchical_cluster(s.points(), &hc).map_err(|e| e.to_string())?;
+    let noise = clustering.assignments.iter().filter(|&&x| x == NOISE).count();
+    writeln!(
+        out,
+        "clustered a {}-point sample into {} clusters ({} sample points trimmed as noise)",
+        s.len(),
+        clustering.clusters.len(),
+        noise
+    )
+    .map_err(io_err)?;
+    for (i, c) in clustering.clusters.iter().enumerate() {
+        // Report the mean in original coordinates, and a Horvitz–Thompson
+        // estimate of the cluster's true size.
+        let mut mean = c.mean.clone();
+        scaler.inverse_point(&mut mean);
+        let est_size: f64 = c.members.iter().map(|&m| s.weights()[m]).sum();
+        writeln!(
+            out,
+            "  cluster {i}: {} sample points (≈{:.0} dataset points), mean {:?}",
+            c.members.len(),
+            est_size,
+            mean.iter().map(|x| (x * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn outliers(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(), String> {
+    let (scaled, scaler) = normalize(data)?;
+    let est = fit_kde(&scaled, args)?;
+    let radius = args.get_f64("radius", 0.05)?;
+    let p = args.get_usize("neighbors", 3)?;
+    let params = DbOutlierParams::new(radius, p).map_err(|e| e.to_string())?;
+    let mut cfg = ApproxConfig::new(params);
+    cfg.slack = args.get_f64("slack", 3.0)?;
+    cfg.seed = args.get_u64("seed", 0)?;
+    let report = approx_outliers(&scaled, &est, &cfg).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "DB(p={p}, k={radius}) outliers: {} found ({} candidates verified, {} dataset passes + estimator pass)",
+        report.outliers.len(),
+        report.candidates,
+        report.passes
+    )
+    .map_err(io_err)?;
+    for &i in &report.outliers {
+        let mut point = scaled.point(i).to_vec();
+        scaler.inverse_point(&mut point);
+        writeln!(out, "  #{i}: {point:?}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn density(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(), String> {
+    let (scaled, scaler) = normalize(data)?;
+    let est = fit_kde(&scaled, args)?;
+    let at = args
+        .get_point("at")?
+        .ok_or_else(|| "density requires --at X,Y,...".to_string())?;
+    if at.len() != data.dim() {
+        return Err(format!("--at has {} coordinates, data has {}", at.len(), data.dim()));
+    }
+    let mut q = at.clone();
+    scaler.transform_point(&mut q);
+    let d = est.density(&q);
+    writeln!(out, "density at {at:?}: {d:.4} (average over domain: {:.4})", est.average_density())
+        .map_err(io_err)?;
+    writeln!(
+        out,
+        "relative to average: {:.2}x",
+        d / est.average_density().max(f64::MIN_POSITIVE)
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn write_sample_file(name: &str) -> String {
+        let mut path = std::env::temp_dir();
+        path.push(format!("dbs_cli_{}_{}.txt", std::process::id(), name));
+        // Two dense blobs plus one isolated point, in weird coordinates.
+        let mut body = String::from("# test data\n");
+        let mut rng = dbs_core::rng::seeded(9);
+        use rand::Rng;
+        for _ in 0..300 {
+            body.push_str(&format!(
+                "{} {}\n",
+                100.0 + rng.gen::<f64>() * 5.0,
+                -50.0 + rng.gen::<f64>() * 5.0
+            ));
+        }
+        for _ in 0..300 {
+            body.push_str(&format!(
+                "{} {}\n",
+                140.0 + rng.gen::<f64>() * 5.0,
+                -20.0 + rng.gen::<f64>() * 5.0
+            ));
+        }
+        body.push_str("120 -35\n"); // the outlier
+        std::fs::write(&path, body).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn run_cli(argv: &[&str]) -> String {
+        let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let parsed = parse(&args).unwrap();
+        let mut out = Vec::new();
+        run(&parsed, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn info_reports_shape() {
+        let file = write_sample_file("info");
+        let output = run_cli(&["info", &file]);
+        assert!(output.contains("points:     601"));
+        assert!(output.contains("dimensions: 2"));
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn sample_writes_output_file() {
+        let file = write_sample_file("sample");
+        let out_file = format!("{file}.sample");
+        let output = run_cli(&[
+            "sample", &file, "--size", "100", "--exponent", "1.0", "--output", &out_file,
+        ]);
+        assert!(output.contains("sampled"));
+        let written = read_text(Path::new(&out_file)).unwrap();
+        assert!(written.len() > 30 && written.len() < 250);
+        // Sampled points are in original coordinates.
+        let bb = written.bounding_box().unwrap();
+        assert!(bb.min()[0] >= 99.0 && bb.max()[0] <= 146.0);
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_file(&out_file).ok();
+    }
+
+    #[test]
+    fn cluster_finds_the_two_blobs() {
+        let file = write_sample_file("cluster");
+        let output = run_cli(&[
+            "cluster", &file, "--clusters", "2", "--size", "300", "--kernels", "200",
+        ]);
+        assert!(output.contains("into 2 clusters"), "{output}");
+        // Means reported in original coordinates (near the blob centers).
+        assert!(output.contains("102.") || output.contains("103."), "{output}");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn outliers_finds_the_isolated_point() {
+        let file = write_sample_file("outliers");
+        // Radius in normalized units; the isolated point is far from both
+        // blobs.
+        let output = run_cli(&[
+            "outliers", &file, "--radius", "0.1", "--neighbors", "2", "--kernels", "200",
+            "--slack", "10",
+        ]);
+        assert!(output.contains("#600"), "{output}");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn density_contrasts_blob_and_void() {
+        let file = write_sample_file("density");
+        let in_blob = run_cli(&["density", &file, "--at", "102,-47", "--kernels", "200"]);
+        let in_void = run_cli(&["density", &file, "--at", "105,-25", "--kernels", "200"]);
+        let ratio = |s: &str| -> f64 {
+            s.lines()
+                .find(|l| l.contains("relative"))
+                .and_then(|l| l.split_whitespace().nth(3))
+                .and_then(|t| t.trim_end_matches('x').parse().ok())
+                .unwrap()
+        };
+        assert!(ratio(&in_blob) > ratio(&in_void), "{in_blob} vs {in_void}");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let parsed = parse(&["info".to_string(), "/nonexistent/x.txt".to_string()]).unwrap();
+        let mut out = Vec::new();
+        let err = run(&parsed, &mut out).unwrap_err();
+        assert!(err.contains("cannot load"));
+    }
+
+    #[test]
+    fn density_requires_at() {
+        let file = write_sample_file("noat");
+        let parsed = parse(&["density".to_string(), file.clone()]).unwrap();
+        let mut out = Vec::new();
+        let err = run(&parsed, &mut out).unwrap_err();
+        assert!(err.contains("--at"));
+        std::fs::remove_file(&file).ok();
+    }
+}

@@ -1,0 +1,23 @@
+//! # dbs-cli
+//!
+//! The `dbs` command-line tool: density-biased sampling, clustering and
+//! DB(p,k) outlier detection over dataset files, end to end.
+//!
+//! ```text
+//! dbs info    data.txt
+//! dbs sample  data.txt --size 1000 --exponent 1.0 --output sample.txt
+//! dbs cluster data.txt --clusters 10 --sample 1000 --exponent 1.0
+//! dbs outliers data.txt --radius 0.05 --neighbors 3
+//! dbs density data.txt --at 0.5,0.5
+//! ```
+//!
+//! Input files are whitespace/comma-separated text (one point per line,
+//! `#` comments) or the `DBS1` binary format. Data is min-max normalized to
+//! the unit cube for estimation/sampling — as the paper assumes — and
+//! results are reported in the original coordinates.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParsedArgs};
+pub use commands::run;

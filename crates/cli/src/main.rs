@@ -1,0 +1,25 @@
+//! Entry point for the `dbs` command-line tool.
+
+use dbs_cli::args::{parse, USAGE};
+use dbs_cli::commands::run;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") || argv.is_empty() {
+        eprint!("{USAGE}");
+        std::process::exit(if argv.is_empty() { 2 } else { 0 });
+    }
+    let parsed = match parse(&argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout();
+    if let Err(e) = run(&parsed, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,580 @@
+//! BIRCH (Zhang, Ramakrishnan, Livny — reference \[31\] of the paper).
+//!
+//! The paper compares its summarization (the biased sample) against
+//! BIRCH's CF-tree, giving BIRCH "as much space as the size of the sample
+//! to keep the CF-tree" while letting it scan the *entire* dataset (§4).
+//!
+//! This implementation follows the published algorithm:
+//!
+//! * a clustering feature is `CF = (N, LS, SS)`;
+//! * points descend the tree toward the closest entry centroid and are
+//!   absorbed by the closest leaf entry when the merged radius stays below
+//!   the threshold `T`, otherwise they start a new entry;
+//! * nodes exceeding the branching factor split on their farthest entry
+//!   pair;
+//! * when the leaf-entry budget (the memory cap) is exceeded, `T` grows
+//!   and the tree is rebuilt by reinserting the leaf CFs;
+//! * a global phase agglomerates the leaf centroids (weighted by `N`) into
+//!   `k` clusters and reports their centers and radii — the output format
+//!   the §4.3 evaluation uses ("BIRCH reports cluster centers and radii").
+
+use dbs_core::{Dataset, Error, PointSource, Result};
+
+/// A clustering feature: count, linear sum, sum of squared norms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cf {
+    n: f64,
+    ls: Vec<f64>,
+    ss: f64,
+}
+
+impl Cf {
+    /// CF of a single point.
+    pub fn from_point(p: &[f64]) -> Self {
+        Cf { n: 1.0, ls: p.to_vec(), ss: p.iter().map(|x| x * x).sum() }
+    }
+
+    /// CF of a weighted point (used by the global phase).
+    pub fn from_weighted_point(p: &[f64], w: f64) -> Self {
+        Cf { n: w, ls: p.iter().map(|x| x * w).collect(), ss: w * p.iter().map(|x| x * x).sum::<f64>() }
+    }
+
+    /// Number of points summarized.
+    pub fn count(&self) -> f64 {
+        self.n
+    }
+
+    /// Centroid `LS / N`.
+    pub fn centroid(&self) -> Vec<f64> {
+        self.ls.iter().map(|x| x / self.n).collect()
+    }
+
+    /// Additivity: absorb another CF.
+    pub fn merge(&mut self, other: &Cf) {
+        self.n += other.n;
+        for (a, b) in self.ls.iter_mut().zip(&other.ls) {
+            *a += b;
+        }
+        self.ss += other.ss;
+    }
+
+    /// Average radius of the summarized points around the centroid:
+    /// `sqrt(SS/N - |LS/N|^2)` (clamped at 0 against rounding).
+    pub fn radius(&self) -> f64 {
+        let centroid_norm_sq: f64 = self.ls.iter().map(|x| (x / self.n) * (x / self.n)).sum();
+        (self.ss / self.n - centroid_norm_sq).max(0.0).sqrt()
+    }
+
+    /// Radius the union of the two CFs would have.
+    fn merged_radius(&self, other: &Cf) -> f64 {
+        let mut m = self.clone();
+        m.merge(other);
+        m.radius()
+    }
+
+    /// Squared centroid distance to another CF.
+    fn dist_sq(&self, other: &Cf) -> f64 {
+        let mut acc = 0.0;
+        for j in 0..self.ls.len() {
+            let d = self.ls[j] / self.n - other.ls[j] / other.n;
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+/// Configuration of the BIRCH run.
+#[derive(Debug, Clone)]
+pub struct BirchConfig {
+    /// Target number of clusters for the global phase.
+    pub num_clusters: usize,
+    /// Memory budget expressed as the maximum number of leaf entries the
+    /// CF-tree may hold. The paper sets this to the sample size used by the
+    /// competing samplers.
+    pub max_leaf_entries: usize,
+    /// Branching factor (entries per node). The paper uses a 1024-byte
+    /// page; [`BirchConfig::branching_from_page_size`] derives the factor.
+    pub branching: usize,
+    /// Initial absorption threshold `T` (paper: 0).
+    pub initial_threshold: f64,
+}
+
+impl BirchConfig {
+    /// Paper settings (§4.2): page size 1024 bytes, initial threshold 0,
+    /// memory capped at `max_leaf_entries`.
+    pub fn paper_defaults(num_clusters: usize, max_leaf_entries: usize, dim: usize) -> Self {
+        BirchConfig {
+            num_clusters,
+            max_leaf_entries: max_leaf_entries.max(num_clusters),
+            branching: Self::branching_from_page_size(1024, dim),
+            initial_threshold: 0.0,
+        }
+    }
+
+    /// Entries that fit a page: a CF stores `d + 2` f64 values plus a child
+    /// pointer.
+    pub fn branching_from_page_size(page_size: usize, dim: usize) -> usize {
+        (page_size / ((dim + 2) * 8 + 8)).max(4)
+    }
+}
+
+/// One cluster reported by BIRCH's global phase.
+#[derive(Debug, Clone)]
+pub struct BirchCluster {
+    /// Cluster center (weighted centroid of merged leaf entries).
+    pub center: Vec<f64>,
+    /// Average radius from the merged CF.
+    pub radius: f64,
+    /// Number of dataset points summarized into this cluster.
+    pub weight: f64,
+}
+
+/// Result of a BIRCH run.
+#[derive(Debug, Clone)]
+pub struct BirchClustering {
+    /// Clusters found by the global phase (centers + radii, §4.3).
+    pub clusters: Vec<BirchCluster>,
+    /// Number of leaf entries the final CF-tree held.
+    pub leaf_entries: usize,
+    /// Final absorption threshold after rebuilds.
+    pub final_threshold: f64,
+    /// Number of tree rebuilds triggered by the memory budget.
+    pub rebuilds: usize,
+}
+
+enum Node {
+    Interior { cfs: Vec<Cf>, children: Vec<Node> },
+    Leaf { cfs: Vec<Cf> },
+}
+
+/// An incremental BIRCH CF-tree.
+pub struct Birch {
+    root: Node,
+    threshold: f64,
+    branching: usize,
+    max_leaf_entries: usize,
+    leaf_entries: usize,
+    rebuilds: usize,
+    dim: usize,
+}
+
+impl Birch {
+    /// Creates an empty tree for `dim`-dimensional points.
+    pub fn new(dim: usize, config: &BirchConfig) -> Self {
+        Birch {
+            root: Node::Leaf { cfs: Vec::new() },
+            threshold: config.initial_threshold,
+            branching: config.branching.max(2),
+            max_leaf_entries: config.max_leaf_entries.max(1),
+            leaf_entries: 0,
+            rebuilds: 0,
+            dim,
+        }
+    }
+
+    /// Current absorption threshold `T`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of rebuilds so far.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Number of leaf entries currently held.
+    pub fn leaf_entries(&self) -> usize {
+        self.leaf_entries
+    }
+
+    /// Inserts one point, rebuilding with a larger threshold if the memory
+    /// budget is exceeded.
+    pub fn insert(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
+        self.insert_cf(Cf::from_point(p));
+        while self.leaf_entries > self.max_leaf_entries {
+            self.rebuild();
+        }
+    }
+
+    fn insert_cf(&mut self, cf: Cf) {
+        let threshold = self.threshold;
+        let branching = self.branching;
+        let mut created = false;
+        if let Some((c0, c1)) = Self::insert_rec(&mut self.root, cf, threshold, branching, &mut created)
+        {
+            // Root split.
+            self.root = Node::Interior { cfs: vec![c0.0, c1.0], children: vec![c0.1, c1.1] };
+        }
+        if created {
+            self.leaf_entries += 1;
+        }
+    }
+
+    /// Recursive insert; returns `Some((left, right))` when `node` split.
+    #[allow(clippy::type_complexity)]
+    fn insert_rec(
+        node: &mut Node,
+        cf: Cf,
+        threshold: f64,
+        branching: usize,
+        created: &mut bool,
+    ) -> Option<((Cf, Node), (Cf, Node))> {
+        match node {
+            Node::Leaf { cfs } => {
+                if cfs.is_empty() {
+                    cfs.push(cf);
+                    *created = true;
+                    return None;
+                }
+                // Closest entry by centroid distance.
+                let (best, _) = cfs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (i, e.dist_sq(&cf)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+                    .expect("leaf non-empty");
+                if cfs[best].merged_radius(&cf) <= threshold {
+                    cfs[best].merge(&cf);
+                    return None;
+                }
+                cfs.push(cf);
+                *created = true;
+                if cfs.len() <= branching {
+                    return None;
+                }
+                // Split on the farthest pair.
+                let taken = std::mem::take(cfs);
+                let (l, r) = split_entries(taken);
+                let lcf = sum_cfs(&l);
+                let rcf = sum_cfs(&r);
+                Some(((lcf, Node::Leaf { cfs: l }), (rcf, Node::Leaf { cfs: r })))
+            }
+            Node::Interior { cfs, children } => {
+                let (best, _) = cfs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (i, e.dist_sq(&cf)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+                    .expect("interior nodes are never empty");
+                let split =
+                    Self::insert_rec(&mut children[best], cf.clone(), threshold, branching, created);
+                match split {
+                    None => {
+                        cfs[best].merge(&cf);
+                        None
+                    }
+                    Some(((lcf, lnode), (rcf, rnode))) => {
+                        // Replace the split child with its two halves.
+                        cfs.remove(best);
+                        children.remove(best);
+                        cfs.push(lcf);
+                        children.push(lnode);
+                        cfs.push(rcf);
+                        children.push(rnode);
+                        if cfs.len() <= branching {
+                            return None;
+                        }
+                        let taken_cfs = std::mem::take(cfs);
+                        let taken_children = std::mem::take(children);
+                        let (l, r) = split_node(taken_cfs, taken_children);
+                        let lcf = sum_cfs(&l.0);
+                        let rcf = sum_cfs(&r.0);
+                        Some((
+                            (lcf, Node::Interior { cfs: l.0, children: l.1 }),
+                            (rcf, Node::Interior { cfs: r.0, children: r.1 }),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects all leaf CFs.
+    fn collect_leaves(node: &Node, out: &mut Vec<Cf>) {
+        match node {
+            Node::Leaf { cfs } => out.extend(cfs.iter().cloned()),
+            Node::Interior { children, .. } => {
+                for c in children {
+                    Self::collect_leaves(c, out);
+                }
+            }
+        }
+    }
+
+    /// Grows the threshold and reinserts all leaf entries (BIRCH's rebuild
+    /// step under memory pressure).
+    fn rebuild(&mut self) {
+        let mut leaves = Vec::with_capacity(self.leaf_entries);
+        Self::collect_leaves(&self.root, &mut leaves);
+        // New threshold: grow past the closest pair of leaf entries so at
+        // least one absorption happens; fall back to scaling.
+        let mut closest = f64::INFINITY;
+        let probe = leaves.len().min(256);
+        for i in 0..probe {
+            for j in (i + 1)..probe {
+                let d = leaves[i].dist_sq(&leaves[j]).sqrt();
+                if d < closest {
+                    closest = d;
+                }
+            }
+        }
+        let grown = if self.threshold > 0.0 { self.threshold * 1.5 } else { 1e-3 };
+        self.threshold = if closest.is_finite() { grown.max(closest * 1.01) } else { grown };
+        self.root = Node::Leaf { cfs: Vec::new() };
+        self.leaf_entries = 0;
+        self.rebuilds += 1;
+        for cf in leaves {
+            self.insert_cf(cf);
+        }
+    }
+
+    /// Finishes the run: agglomerates leaf centroids (weighted by `N`) into
+    /// `num_clusters` clusters by repeatedly merging the closest centroid
+    /// pair.
+    pub fn finish(self, num_clusters: usize) -> BirchClustering {
+        let mut leaves = Vec::with_capacity(self.leaf_entries);
+        Self::collect_leaves(&self.root, &mut leaves);
+        let mut merged: Vec<Cf> = leaves;
+        // O(m^2) agglomeration on at most max_leaf_entries summaries.
+        while merged.len() > num_clusters {
+            let mut best = (0usize, 1usize, f64::INFINITY);
+            for i in 0..merged.len() {
+                for j in (i + 1)..merged.len() {
+                    let d = merged[i].dist_sq(&merged[j]);
+                    if d < best.2 {
+                        best = (i, j, d);
+                    }
+                }
+            }
+            let (i, j, _) = best;
+            let absorbed = merged.swap_remove(j);
+            merged[i].merge(&absorbed);
+        }
+        let clusters = merged
+            .into_iter()
+            .map(|cf| BirchCluster { center: cf.centroid(), radius: cf.radius(), weight: cf.count() })
+            .collect();
+        BirchClustering {
+            clusters,
+            leaf_entries: self.leaf_entries,
+            final_threshold: self.threshold,
+            rebuilds: self.rebuilds,
+        }
+    }
+
+    /// Convenience: run BIRCH over a whole source (one pass) and cluster.
+    pub fn run<S: PointSource + ?Sized>(
+        source: &S,
+        config: &BirchConfig,
+    ) -> Result<BirchClustering> {
+        if source.is_empty() {
+            return Err(Error::InvalidParameter("cannot run BIRCH on empty source".into()));
+        }
+        if config.num_clusters == 0 {
+            return Err(Error::InvalidParameter("num_clusters must be >= 1".into()));
+        }
+        let mut tree = Birch::new(source.dim(), config);
+        source.scan(&mut |_, p| tree.insert(p))?;
+        Ok(tree.finish(config.num_clusters))
+    }
+
+    /// Convenience for in-memory datasets.
+    pub fn run_dataset(data: &Dataset, config: &BirchConfig) -> Result<BirchClustering> {
+        Self::run(data, config)
+    }
+}
+
+/// Splits entries on the farthest pair, assigning each entry to the nearer
+/// seed.
+fn split_entries(cfs: Vec<Cf>) -> (Vec<Cf>, Vec<Cf>) {
+    let (si, sj) = farthest_pair(&cfs);
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let seed_l = cfs[si].clone();
+    let seed_r = cfs[sj].clone();
+    for cf in cfs {
+        if cf.dist_sq(&seed_l) <= cf.dist_sq(&seed_r) {
+            left.push(cf);
+        } else {
+            right.push(cf);
+        }
+    }
+    if left.is_empty() {
+        left.push(right.pop().expect("right non-empty when left empty"));
+    }
+    if right.is_empty() {
+        right.push(left.pop().expect("left non-empty when right empty"));
+    }
+    (left, right)
+}
+
+/// Splits an interior node's entries and children together.
+#[allow(clippy::type_complexity)]
+fn split_node(cfs: Vec<Cf>, children: Vec<Node>) -> ((Vec<Cf>, Vec<Node>), (Vec<Cf>, Vec<Node>)) {
+    let (si, sj) = farthest_pair(&cfs);
+    let seed_l = cfs[si].clone();
+    let seed_r = cfs[sj].clone();
+    let mut l = (Vec::new(), Vec::new());
+    let mut r = (Vec::new(), Vec::new());
+    for (cf, child) in cfs.into_iter().zip(children) {
+        if cf.dist_sq(&seed_l) <= cf.dist_sq(&seed_r) {
+            l.0.push(cf);
+            l.1.push(child);
+        } else {
+            r.0.push(cf);
+            r.1.push(child);
+        }
+    }
+    if l.0.is_empty() {
+        l.0.push(r.0.pop().expect("non-empty"));
+        l.1.push(r.1.pop().expect("non-empty"));
+    }
+    if r.0.is_empty() {
+        r.0.push(l.0.pop().expect("non-empty"));
+        r.1.push(l.1.pop().expect("non-empty"));
+    }
+    (l, r)
+}
+
+fn farthest_pair(cfs: &[Cf]) -> (usize, usize) {
+    let mut best = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..cfs.len() {
+        for j in (i + 1)..cfs.len() {
+            let d = cfs[i].dist_sq(&cfs[j]);
+            if d > best.2 {
+                best = (i, j, d);
+            }
+        }
+    }
+    (best.0, best.1)
+}
+
+fn sum_cfs(cfs: &[Cf]) -> Cf {
+    let mut acc = cfs[0].clone();
+    for cf in &cfs[1..] {
+        acc.merge(cf);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbs_core::metric::euclidean;
+    use dbs_core::rng::seeded;
+    use rand::Rng;
+
+    fn blobs(k: usize, per: usize, seed: u64) -> (Dataset, Vec<Vec<f64>>) {
+        let mut rng = seeded(seed);
+        let mut ds = Dataset::with_capacity(2, k * per);
+        let mut centers = Vec::new();
+        for c in 0..k {
+            let center = vec![(c as f64 + 0.5) / k as f64, (c as f64 + 0.5) / k as f64];
+            for _ in 0..per {
+                ds.push(&[
+                    center[0] + (rng.gen::<f64>() - 0.5) * 0.04,
+                    center[1] + (rng.gen::<f64>() - 0.5) * 0.04,
+                ])
+                .unwrap();
+            }
+            centers.push(center);
+        }
+        (ds, centers)
+    }
+
+    #[test]
+    fn cf_additivity_and_radius() {
+        let mut a = Cf::from_point(&[0.0, 0.0]);
+        a.merge(&Cf::from_point(&[2.0, 0.0]));
+        assert_eq!(a.count(), 2.0);
+        assert_eq!(a.centroid(), vec![1.0, 0.0]);
+        // Points at distance 1 from centroid: radius 1.
+        assert!((a.radius() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finds_blob_centers() {
+        let (ds, centers) = blobs(4, 200, 1);
+        let cfg = BirchConfig::paper_defaults(4, 64, 2);
+        let res = Birch::run_dataset(&ds, &cfg).unwrap();
+        assert_eq!(res.clusters.len(), 4);
+        assert!(res.leaf_entries <= 64);
+        for truth in &centers {
+            let nearest = res
+                .clusters
+                .iter()
+                .map(|c| euclidean(&c.center, truth))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 0.05, "no center near {truth:?} (best {nearest})");
+        }
+    }
+
+    #[test]
+    fn memory_budget_forces_rebuilds() {
+        let (ds, _) = blobs(4, 300, 2);
+        let cfg = BirchConfig::paper_defaults(4, 16, 2);
+        let res = Birch::run_dataset(&ds, &cfg).unwrap();
+        assert!(res.rebuilds > 0, "tiny budget must trigger rebuilds");
+        assert!(res.leaf_entries <= 16);
+        assert!(res.final_threshold > 0.0);
+        assert_eq!(res.clusters.len(), 4);
+    }
+
+    #[test]
+    fn weights_sum_to_dataset_size() {
+        let (ds, _) = blobs(3, 100, 3);
+        let cfg = BirchConfig::paper_defaults(3, 32, 2);
+        let res = Birch::run_dataset(&ds, &cfg).unwrap();
+        let total: f64 = res.clusters.iter().map(|c| c.weight).sum();
+        assert!((total - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_point_dataset() {
+        let ds = Dataset::from_rows(&[vec![0.5, 0.5]]).unwrap();
+        let cfg = BirchConfig::paper_defaults(1, 8, 2);
+        let res = Birch::run_dataset(&ds, &cfg).unwrap();
+        assert_eq!(res.clusters.len(), 1);
+        assert_eq!(res.clusters[0].center, vec![0.5, 0.5]);
+        assert_eq!(res.clusters[0].radius, 0.0);
+    }
+
+    #[test]
+    fn more_clusters_requested_than_entries() {
+        let ds = Dataset::from_rows(&[vec![0.1, 0.1], vec![0.9, 0.9]]).unwrap();
+        let cfg = BirchConfig::paper_defaults(5, 8, 2);
+        let res = Birch::run_dataset(&ds, &cfg).unwrap();
+        assert!(res.clusters.len() <= 2);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(Birch::run_dataset(&Dataset::new(2), &BirchConfig::paper_defaults(2, 8, 2))
+            .is_err());
+        let ds = Dataset::from_rows(&[vec![0.0, 0.0]]).unwrap();
+        let mut cfg = BirchConfig::paper_defaults(1, 8, 2);
+        cfg.num_clusters = 0;
+        assert!(Birch::run_dataset(&ds, &cfg).is_err());
+    }
+
+    #[test]
+    fn branching_from_page_size_matches_paper_setting() {
+        // 1024-byte page, 2-d: CF = 4 f64 + pointer = 40 bytes -> 25.
+        assert_eq!(BirchConfig::branching_from_page_size(1024, 2), 25);
+        // Never degenerates below 4.
+        assert_eq!(BirchConfig::branching_from_page_size(16, 50), 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (ds, _) = blobs(3, 150, 4);
+        let cfg = BirchConfig::paper_defaults(3, 32, 2);
+        let a = Birch::run_dataset(&ds, &cfg).unwrap();
+        let b = Birch::run_dataset(&ds, &cfg).unwrap();
+        assert_eq!(a.clusters.len(), b.clusters.len());
+        for (x, y) in a.clusters.iter().zip(&b.clusters) {
+            assert_eq!(x.center, y.center);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Clustering evaluation — the §4.3 criteria of the paper.
+//!
+//! "To evaluate the results of the hierarchical algorithm, a cluster is
+//! found if at least 90% of its representative points are in the interior
+//! of the same cluster in the synthetic dataset. Since BIRCH reports
+//! cluster centers and radiuses, if it reports a cluster center that lies
+//! in the interior of a cluster in the synthetic dataset, we assume that
+//! this cluster is found by BIRCH."
+//!
+//! True clusters are represented by their generating regions (axis-aligned
+//! [`BoundingBox`]es, matching the paper's hyper-rectangular synthetic
+//! clusters). Each true cluster is credited at most once.
+
+use dbs_core::BoundingBox;
+
+use crate::hierarchical::{FoundCluster, NOISE};
+
+/// Tunables of the "cluster found" criterion.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Fraction of a found cluster's representatives that must land inside
+    /// one true region (paper: 0.9).
+    pub rep_fraction: f64,
+    /// Margin by which the true regions are inflated before the containment
+    /// test (0 = strict interior).
+    pub margin: f64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { rep_fraction: 0.9, margin: 0.0 }
+    }
+}
+
+/// Number of true clusters found by a set of representative-based clusters
+/// (the criterion used for the hierarchical algorithm).
+///
+/// A found cluster *matches* true region `t` if at least
+/// `rep_fraction` of its representatives lie inside `t` (inflated by
+/// `margin`). Matching is greedy from the largest found cluster; each true
+/// region is credited once.
+pub fn clusters_found(
+    found: &[FoundCluster],
+    truth: &[BoundingBox],
+    config: &EvalConfig,
+) -> usize {
+    let regions: Vec<BoundingBox> = truth.iter().map(|t| t.inflate(config.margin)).collect();
+    let mut order: Vec<usize> = (0..found.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(found[i].members.len()));
+    let mut claimed = vec![false; regions.len()];
+    let mut count = 0usize;
+    for &fi in &order {
+        let cluster = &found[fi];
+        if cluster.representatives.is_empty() {
+            continue;
+        }
+        let needed =
+            (config.rep_fraction * cluster.representatives.len() as f64).ceil() as usize;
+        for (ti, region) in regions.iter().enumerate() {
+            if claimed[ti] {
+                continue;
+            }
+            let inside = cluster
+                .representatives
+                .iter()
+                .filter(|rep| region.contains(rep))
+                .count();
+            if inside >= needed.max(1) {
+                claimed[ti] = true;
+                count += 1;
+                break;
+            }
+        }
+    }
+    count
+}
+
+/// Number of true clusters found by a set of reported centers (the
+/// criterion used for BIRCH): a true region is found if some center lies
+/// inside it; each center and each region is used at most once.
+pub fn clusters_found_by_centers(
+    centers: &[Vec<f64>],
+    truth: &[BoundingBox],
+    config: &EvalConfig,
+) -> usize {
+    let regions: Vec<BoundingBox> = truth.iter().map(|t| t.inflate(config.margin)).collect();
+    let mut claimed = vec![false; regions.len()];
+    let mut used = vec![false; centers.len()];
+    let mut count = 0usize;
+    for (ti, region) in regions.iter().enumerate() {
+        for (ci, center) in centers.iter().enumerate() {
+            if used[ci] || claimed[ti] {
+                continue;
+            }
+            if region.contains(center) {
+                claimed[ti] = true;
+                used[ci] = true;
+                count += 1;
+                break;
+            }
+        }
+    }
+    count
+}
+
+/// Purity of an assignment against ground-truth labels: the weighted
+/// average, over found clusters, of the fraction of members sharing the
+/// cluster's majority label. Noise points ([`NOISE`]) are excluded.
+pub fn purity(assignments: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(assignments.len(), labels.len());
+    use std::collections::HashMap;
+    let mut per_cluster: HashMap<usize, HashMap<usize, usize>> = HashMap::new();
+    let mut total = 0usize;
+    for (&a, &l) in assignments.iter().zip(labels) {
+        if a == NOISE {
+            continue;
+        }
+        *per_cluster.entry(a).or_default().entry(l).or_default() += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return 0.0;
+    }
+    let majority_sum: usize = per_cluster
+        .values()
+        .map(|counts| counts.values().copied().max().unwrap_or(0))
+        .sum();
+    majority_sum as f64 / total as f64
+}
+
+/// Fraction of each true label's points that ended up in the label's
+/// dominant found cluster (per-label recall). Noise counts as missed.
+pub fn label_recalls(assignments: &[usize], labels: &[usize], num_labels: usize) -> Vec<f64> {
+    assert_eq!(assignments.len(), labels.len());
+    use std::collections::HashMap;
+    let mut per_label: Vec<HashMap<usize, usize>> = vec![HashMap::new(); num_labels];
+    let mut label_sizes = vec![0usize; num_labels];
+    for (&a, &l) in assignments.iter().zip(labels) {
+        label_sizes[l] += 1;
+        if a != NOISE {
+            *per_label[l].entry(a).or_default() += 1;
+        }
+    }
+    (0..num_labels)
+        .map(|l| {
+            if label_sizes[l] == 0 {
+                return 0.0;
+            }
+            let best = per_label[l].values().copied().max().unwrap_or(0);
+            best as f64 / label_sizes[l] as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(reps: Vec<Vec<f64>>, size: usize) -> FoundCluster {
+        let mean = reps[0].clone();
+        FoundCluster { members: (0..size).collect(), mean, representatives: reps }
+    }
+
+    fn boxes() -> Vec<BoundingBox> {
+        vec![
+            BoundingBox::new(vec![0.0, 0.0], vec![0.4, 0.4]),
+            BoundingBox::new(vec![0.6, 0.6], vec![1.0, 1.0]),
+        ]
+    }
+
+    #[test]
+    fn all_reps_inside_counts_as_found() {
+        let found = vec![
+            cluster(vec![vec![0.1, 0.1], vec![0.2, 0.2], vec![0.3, 0.3]], 100),
+            cluster(vec![vec![0.7, 0.7], vec![0.9, 0.9]], 80),
+        ];
+        assert_eq!(clusters_found(&found, &boxes(), &EvalConfig::default()), 2);
+    }
+
+    #[test]
+    fn ninety_percent_threshold() {
+        // 10 reps, 9 inside: found. 10 reps, 8 inside: not found.
+        let mut reps9 = vec![vec![0.2, 0.2]; 9];
+        reps9.push(vec![0.9, 0.9]);
+        let mut reps8 = vec![vec![0.2, 0.2]; 8];
+        reps8.extend(vec![vec![0.9, 0.9]; 2]);
+        let truth = vec![BoundingBox::new(vec![0.0, 0.0], vec![0.4, 0.4])];
+        assert_eq!(
+            clusters_found(&[cluster(reps9, 10)], &truth, &EvalConfig::default()),
+            1
+        );
+        assert_eq!(
+            clusters_found(&[cluster(reps8, 10)], &truth, &EvalConfig::default()),
+            0
+        );
+    }
+
+    #[test]
+    fn each_true_cluster_credited_once() {
+        // Two found clusters both inside the same region: only one credit.
+        let found = vec![
+            cluster(vec![vec![0.1, 0.1]], 50),
+            cluster(vec![vec![0.3, 0.3]], 40),
+        ];
+        assert_eq!(clusters_found(&found, &boxes(), &EvalConfig::default()), 1);
+    }
+
+    #[test]
+    fn margin_rescues_boundary_reps() {
+        let found = vec![cluster(vec![vec![0.45, 0.45]], 10)];
+        let truth = vec![BoundingBox::new(vec![0.0, 0.0], vec![0.4, 0.4])];
+        assert_eq!(clusters_found(&found, &truth, &EvalConfig::default()), 0);
+        let relaxed = EvalConfig { margin: 0.1, ..Default::default() };
+        assert_eq!(clusters_found(&found, &truth, &relaxed), 1);
+    }
+
+    #[test]
+    fn centers_criterion() {
+        let centers = vec![vec![0.2, 0.2], vec![0.5, 0.5], vec![0.8, 0.8]];
+        assert_eq!(clusters_found_by_centers(&centers, &boxes(), &EvalConfig::default()), 2);
+        // One center cannot claim two regions.
+        let single = vec![vec![0.2, 0.2]];
+        assert_eq!(clusters_found_by_centers(&single, &boxes(), &EvalConfig::default()), 1);
+    }
+
+    #[test]
+    fn purity_basics() {
+        // Perfect clustering.
+        assert_eq!(purity(&[0, 0, 1, 1], &[5, 5, 7, 7]), 1.0);
+        // One impure member out of four.
+        assert_eq!(purity(&[0, 0, 1, 1], &[5, 5, 7, 5]), 0.75);
+        // Noise excluded.
+        assert_eq!(purity(&[0, 0, NOISE, NOISE], &[5, 5, 7, 7]), 1.0);
+        // Empty.
+        assert_eq!(purity(&[NOISE], &[0]), 0.0);
+    }
+
+    #[test]
+    fn label_recalls_basics() {
+        let assignments = [0, 0, 0, 1, NOISE, 1];
+        let labels = [0, 0, 1, 1, 1, 1];
+        let recalls = label_recalls(&assignments, &labels, 2);
+        assert!((recalls[0] - 1.0).abs() < 1e-12);
+        assert!((recalls[1] - 0.5).abs() < 1e-12);
+    }
+}

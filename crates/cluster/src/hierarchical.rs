@@ -1,0 +1,574 @@
+//! CURE-style hierarchical agglomerative clustering.
+//!
+//! "We used a hierarchical clustering algorithm based on CURE \[8\], but not
+//! the original implementation by the authors. In this algorithm each
+//! cluster is represented by a set of points that have been carefully
+//! selected in order to represent the shape of the cluster (well scattered
+//! points)." (§4 of the paper.)
+//!
+//! Implementation notes:
+//! * every input point starts as a singleton cluster;
+//! * the distance between two clusters is the minimum distance between
+//!   their representative points;
+//! * a merged cluster's representatives are `c` well-scattered members
+//!   (farthest-point selection) shrunk toward the cluster mean by `α`
+//!   (§4.2 settings: `c = 10`, `α = 0.3`);
+//! * following CURE's outlier handling, once merging leaves the
+//!   intra-cluster distance regime (see [`HierarchicalConfig`] for the
+//!   distance trigger), clusters that grew very slowly (fewer than
+//!   `trim_min_size` members) are set aside as noise rather than allowed
+//!   to chain real clusters together.
+//!
+//! The run time is quadratic in the sample size — which is exactly why the
+//! paper samples first (§3.1, Figure 2).
+
+use dbs_core::metric::euclidean_sq;
+use dbs_core::{Dataset, Error, Result};
+use dbs_spatial::KdTree;
+
+/// Cluster id assigned to points trimmed as noise.
+pub const NOISE: usize = usize::MAX;
+
+/// Configuration of the hierarchical algorithm (§4.2 defaults).
+#[derive(Debug, Clone)]
+pub struct HierarchicalConfig {
+    /// Target number of clusters `k`.
+    pub num_clusters: usize,
+    /// Representatives per cluster (`c`); paper default 10.
+    pub num_representatives: usize,
+    /// Shrink factor `α` toward the mean; paper default 0.3.
+    pub shrink_factor: f64,
+    /// Noise-trim trigger: a trim fires when the pending merge distance
+    /// first exceeds `trim_distance_factor` times the
+    /// `trim_nn_quantile`-quantile of the initial nearest-neighbor
+    /// distances, and re-fires each time the merge distance doubles again.
+    /// Intra-cluster merges happen at NN scale; merges beyond a few times
+    /// that scale are bridging noise, so trimming there removes
+    /// slow-growing noise clusters regardless of how unevenly dense the
+    /// real clusters are (CURE's count-based trigger misfires when cluster
+    /// densities differ a lot). Set `trim_min_size = 0` to disable
+    /// trimming.
+    pub trim_nn_quantile: f64,
+    /// Multiplier on the NN-quantile distance for the trigger.
+    pub trim_distance_factor: f64,
+    /// Minimum member count for a cluster to survive the trim phase. The
+    /// effective minimum also scales with the input: `max(trim_min_size,
+    /// n / trim_size_divisor)` — in a large noisy sample, noise
+    /// agglomerates grow beyond any fixed size while real clusters grow
+    /// proportionally with the sample.
+    pub trim_min_size: usize,
+    /// Divisor for the sample-proportional part of the trim minimum.
+    pub trim_size_divisor: usize,
+}
+
+impl HierarchicalConfig {
+    /// The paper's §4.2 parameter setting for `k` target clusters.
+    pub fn paper_defaults(num_clusters: usize) -> Self {
+        HierarchicalConfig {
+            num_clusters,
+            num_representatives: 10,
+            shrink_factor: 0.3,
+            trim_nn_quantile: 0.25,
+            trim_distance_factor: 3.0,
+            trim_min_size: 3,
+            trim_size_divisor: 200,
+        }
+    }
+}
+
+/// A cluster produced by [`hierarchical_cluster`].
+#[derive(Debug, Clone)]
+pub struct FoundCluster {
+    /// Indices of member points in the input dataset.
+    pub members: Vec<usize>,
+    /// Mean of the member points.
+    pub mean: Vec<f64>,
+    /// Shrunk well-scattered representative points (the cluster's shape
+    /// summary, and what the §4.3 evaluation criterion inspects).
+    pub representatives: Vec<Vec<f64>>,
+}
+
+/// Result of a hierarchical clustering run.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster id per input point; [`NOISE`] for trimmed points.
+    pub assignments: Vec<usize>,
+    /// The clusters, in arbitrary order; `assignments` indexes this list.
+    pub clusters: Vec<FoundCluster>,
+}
+
+#[derive(Debug)]
+struct Agglo {
+    members: Vec<u32>,
+    mean: Vec<f64>,
+    /// Sum of member coordinates (exact mean maintenance under merges).
+    coord_sum: Vec<f64>,
+    reps: Vec<Vec<f64>>,
+    closest: usize,
+    closest_dist: f64,
+    active: bool,
+}
+
+/// Minimum distance between the representative sets of two clusters.
+fn cluster_dist(a: &Agglo, b: &Agglo) -> f64 {
+    let mut best = f64::INFINITY;
+    for p in &a.reps {
+        for q in &b.reps {
+            let d = euclidean_sq(p, q);
+            if d < best {
+                best = d;
+            }
+        }
+    }
+    best
+}
+
+/// Selects `c` well-scattered members of the cluster (farthest-point
+/// heuristic seeded with the member farthest from the mean) and shrinks
+/// them toward the mean by `alpha`.
+fn scattered_representatives(
+    data: &Dataset,
+    members: &[u32],
+    mean: &[f64],
+    c: usize,
+    alpha: f64,
+) -> Vec<Vec<f64>> {
+    let c = c.min(members.len()).max(1);
+    let mut chosen: Vec<u32> = Vec::with_capacity(c);
+    // min squared distance from each member to the chosen set.
+    let mut min_dist: Vec<f64> = members
+        .iter()
+        .map(|&i| euclidean_sq(data.point(i as usize), mean))
+        .collect();
+    for _ in 0..c {
+        // Pick the member with the largest min-distance (first iteration:
+        // farthest from the mean).
+        let (arg, _) = min_dist
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.partial_cmp(y.1).expect("distances are never NaN"))
+            .expect("members non-empty");
+        let pick = members[arg];
+        chosen.push(pick);
+        min_dist[arg] = f64::NEG_INFINITY; // never re-picked
+        let pick_point = data.point(pick as usize);
+        for (slot, &m) in members.iter().enumerate() {
+            if min_dist[slot] == f64::NEG_INFINITY {
+                continue;
+            }
+            let d = euclidean_sq(data.point(m as usize), pick_point);
+            if d < min_dist[slot] {
+                min_dist[slot] = d;
+            }
+        }
+    }
+    chosen
+        .into_iter()
+        .map(|i| {
+            let p = data.point(i as usize);
+            p.iter().zip(mean).map(|(&x, &m)| x + alpha * (m - x)).collect()
+        })
+        .collect()
+}
+
+/// Runs the CURE-style hierarchical algorithm on `data` (typically a
+/// sample).
+///
+/// Errors if the dataset is empty or the target cluster count is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dbs_cluster::{hierarchical_cluster, HierarchicalConfig};
+/// use dbs_core::Dataset;
+///
+/// // Two blobs of 30 points each.
+/// let mut rows = vec![];
+/// for i in 0..30 {
+///     rows.push(vec![0.2 + (i % 6) as f64 * 0.01, 0.2 + (i / 6) as f64 * 0.01]);
+///     rows.push(vec![0.8 + (i % 6) as f64 * 0.01, 0.8 + (i / 6) as f64 * 0.01]);
+/// }
+/// let data = Dataset::from_rows(&rows)?;
+/// let result = hierarchical_cluster(&data, &HierarchicalConfig::paper_defaults(2))?;
+///
+/// assert_eq!(result.clusters.len(), 2);
+/// assert!(result.clusters.iter().all(|c| c.members.len() == 30));
+/// # Ok::<(), dbs_core::Error>(())
+/// ```
+pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Result<Clustering> {
+    if data.is_empty() {
+        return Err(Error::InvalidParameter("cannot cluster an empty dataset".into()));
+    }
+    if config.num_clusters == 0 {
+        return Err(Error::InvalidParameter("num_clusters must be >= 1".into()));
+    }
+    if !(0.0..=1.0).contains(&config.shrink_factor) {
+        return Err(Error::InvalidParameter("shrink_factor must be in [0,1]".into()));
+    }
+    if config.num_representatives == 0 {
+        return Err(Error::InvalidParameter("num_representatives must be >= 1".into()));
+    }
+    let n = data.len();
+    let dim = data.dim();
+    let k = config.num_clusters;
+
+    // Singleton initialization; nearest neighbors via kd-tree.
+    let tree = KdTree::build(data);
+    let mut clusters: Vec<Agglo> = (0..n)
+        .map(|i| {
+            let p = data.point(i).to_vec();
+            Agglo {
+                members: vec![i as u32],
+                mean: p.clone(),
+                coord_sum: p.clone(),
+                reps: vec![p],
+                closest: usize::MAX,
+                closest_dist: f64::INFINITY,
+                active: true,
+            }
+        })
+        .collect();
+    for i in 0..n {
+        if let Some((j, d)) = tree.nearest_excluding(data, data.point(i), i) {
+            clusters[i].closest = j;
+            clusters[i].closest_dist = d * d;
+        }
+    }
+
+    let mut live = n;
+    let mut noise: Vec<u32> = Vec::new();
+    // Distance threshold (squared) for the noise trims: a multiple of a
+    // quantile of the initial NN distances. The trim re-fires every time
+    // the pending merge distance doubles past the previous trigger, so
+    // noise agglomerates that form *between* trims are still removed while
+    // they are small — CURE's "two trim phases", generalized.
+    let mut trim_round: u32 = 0;
+    let mut next_trim_sq = if config.trim_min_size > 0 && n > k {
+        let mut nn: Vec<f64> = clusters.iter().map(|c| c.closest_dist).collect();
+        nn.sort_by(|a, b| a.partial_cmp(b).expect("distances are never NaN"));
+        let q = config.trim_nn_quantile.clamp(0.0, 1.0);
+        let idx = ((nn.len() - 1) as f64 * q) as usize;
+        // Distances concentrate with dimension: a density ratio rho between
+        // cluster interiors and noise shows up as a distance ratio of only
+        // rho^(1/d). The configured factor is interpreted at d = 2 and
+        // rescaled so the trigger separates the same density contrast in
+        // any dimension.
+        let factor = config.trim_distance_factor.max(1.0).powf(2.0 / dim as f64);
+        Some(nn[idx].max(f64::MIN_POSITIVE) * factor * factor)
+    } else {
+        None
+    };
+
+    let recompute_closest = |clusters: &[Agglo], id: usize| -> (usize, f64) {
+        let mut best = (usize::MAX, f64::INFINITY);
+        for (j, other) in clusters.iter().enumerate() {
+            if j == id || !other.active {
+                continue;
+            }
+            let d = cluster_dist(&clusters[id], other);
+            if d < best.1 {
+                best = (j, d);
+            }
+        }
+        best
+    };
+
+    while live > k {
+        // Find the globally closest pair.
+        let mut u = usize::MAX;
+        let mut best = f64::INFINITY;
+        for (i, c) in clusters.iter().enumerate() {
+            if c.active && c.closest_dist < best {
+                best = c.closest_dist;
+                u = i;
+            }
+        }
+        if u == usize::MAX {
+            break; // nothing mergeable (all remaining are mutually isolated)
+        }
+
+        // Noise trim (CURE's outlier handling, distance-triggered): each
+        // time the pending merge moves further out of the intra-cluster
+        // distance regime, drop the clusters that grew too slowly.
+        if next_trim_sq.is_some_and(|t| best > t) {
+            // Re-arm at double the distance (4x on squared distances).
+            next_trim_sq = Some(next_trim_sq.expect("checked above").max(best) * 4.0);
+            // The survival bar escalates across rounds: the first trim is
+            // gentle (sparse real clusters are still fragments at dense-
+            // cluster distance scales), later trims are strict (by then
+            // real clusters have consolidated while anything still small is
+            // noise agglomerate).
+            let cap = config.trim_min_size.max(n / config.trim_size_divisor.max(1));
+            let min_size = config
+                .trim_min_size
+                .saturating_mul(3usize.saturating_pow(trim_round))
+                .min(cap.max(config.trim_min_size));
+            trim_round += 1;
+            let mut any = false;
+            for c in clusters.iter_mut() {
+                if c.active && c.members.len() < min_size && live > k {
+                    c.active = false;
+                    live -= 1;
+                    noise.extend_from_slice(&c.members);
+                    any = true;
+                }
+            }
+            if live <= k {
+                break;
+            }
+            if any {
+                // Refresh stale closest pointers into trimmed clusters.
+                for id in 0..clusters.len() {
+                    if clusters[id].active
+                        && clusters[id].closest != usize::MAX
+                        && !clusters[clusters[id].closest].active
+                    {
+                        let (j, d) = recompute_closest(&clusters, id);
+                        clusters[id].closest = j;
+                        clusters[id].closest_dist = d;
+                    }
+                }
+                continue; // re-select the closest pair among survivors
+            }
+        }
+        let v = clusters[u].closest;
+        debug_assert!(clusters[v].active, "closest pointers are kept fresh");
+
+        // Merge v into u.
+        let (members_v, sum_v) = {
+            let cv = &mut clusters[v];
+            cv.active = false;
+            (std::mem::take(&mut cv.members), std::mem::take(&mut cv.coord_sum))
+        };
+        live -= 1;
+        {
+            let cu = &mut clusters[u];
+            cu.members.extend_from_slice(&members_v);
+            for j in 0..dim {
+                cu.coord_sum[j] += sum_v[j];
+            }
+            let inv = 1.0 / cu.members.len() as f64;
+            for j in 0..dim {
+                cu.mean[j] = cu.coord_sum[j] * inv;
+            }
+        }
+        clusters[u].reps = scattered_representatives(
+            data,
+            &clusters[u].members,
+            &clusters[u].mean,
+            config.num_representatives,
+            config.shrink_factor,
+        );
+
+        // Refresh closest pointers: u itself, plus anyone pointing at u/v.
+        let (j, d) = recompute_closest(&clusters, u);
+        clusters[u].closest = j;
+        clusters[u].closest_dist = d;
+        for id in 0..clusters.len() {
+            if !clusters[id].active || id == u {
+                continue;
+            }
+            if clusters[id].closest == u || clusters[id].closest == v {
+                let (j, d) = recompute_closest(&clusters, id);
+                clusters[id].closest = j;
+                clusters[id].closest_dist = d;
+            } else {
+                // u changed shape; it may now be closer than the cached one.
+                let d = cluster_dist(&clusters[id], &clusters[u]);
+                if d < clusters[id].closest_dist {
+                    clusters[id].closest = u;
+                    clusters[id].closest_dist = d;
+                }
+            }
+        }
+    }
+
+    // Assemble output.
+    let mut assignments = vec![NOISE; n];
+    let mut out_clusters = Vec::with_capacity(live);
+    for c in clusters.into_iter().filter(|c| c.active) {
+        let id = out_clusters.len();
+        let members: Vec<usize> = c.members.iter().map(|&m| m as usize).collect();
+        for &m in &members {
+            assignments[m] = id;
+        }
+        out_clusters.push(FoundCluster { members, mean: c.mean, representatives: c.reps });
+    }
+    Ok(Clustering { assignments, clusters: out_clusters })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbs_core::rng::seeded;
+    use rand::Rng;
+
+    /// `k` tight blobs on a diagonal, `per` points each.
+    fn blobs(k: usize, per: usize, seed: u64) -> (Dataset, Vec<usize>) {
+        let mut rng = seeded(seed);
+        let mut ds = Dataset::with_capacity(2, k * per);
+        let mut labels = Vec::with_capacity(k * per);
+        for c in 0..k {
+            let center = (c as f64 + 0.5) / k as f64;
+            for _ in 0..per {
+                ds.push(&[
+                    center + (rng.gen::<f64>() - 0.5) * 0.05,
+                    center + (rng.gen::<f64>() - 0.5) * 0.05,
+                ])
+                .unwrap();
+                labels.push(c);
+            }
+        }
+        (ds, labels)
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let (ds, labels) = blobs(4, 50, 1);
+        let res = hierarchical_cluster(&ds, &HierarchicalConfig::paper_defaults(4)).unwrap();
+        assert_eq!(res.clusters.len(), 4);
+        // Every found cluster must be label-pure.
+        for cluster in &res.clusters {
+            let first = labels[cluster.members[0]];
+            assert!(cluster.members.iter().all(|&m| labels[m] == first));
+        }
+    }
+
+    #[test]
+    fn assignments_match_clusters() {
+        let (ds, _) = blobs(3, 30, 2);
+        let res = hierarchical_cluster(&ds, &HierarchicalConfig::paper_defaults(3)).unwrap();
+        for (id, cluster) in res.clusters.iter().enumerate() {
+            for &m in &cluster.members {
+                assert_eq!(res.assignments[m], id);
+            }
+        }
+        let assigned: usize = res.clusters.iter().map(|c| c.members.len()).sum();
+        let noise = res.assignments.iter().filter(|&&a| a == NOISE).count();
+        assert_eq!(assigned + noise, ds.len());
+    }
+
+    #[test]
+    fn representatives_are_shrunk_into_cluster() {
+        let (ds, _) = blobs(2, 100, 3);
+        let res = hierarchical_cluster(&ds, &HierarchicalConfig::paper_defaults(2)).unwrap();
+        for cluster in &res.clusters {
+            assert!(cluster.representatives.len() <= 10);
+            assert!(!cluster.representatives.is_empty());
+            // Shrunk reps lie within the member bounding box (strictly
+            // inside, since alpha > 0 pulls toward the mean).
+            let sub = ds.select(&cluster.members);
+            let bb = sub.bounding_box().unwrap().inflate(1e-9);
+            for rep in &cluster.representatives {
+                assert!(bb.contains(rep), "rep {rep:?} outside cluster box");
+            }
+        }
+    }
+
+    #[test]
+    fn elongated_cluster_not_split() {
+        // One long thin cluster plus one blob: k-means would split the
+        // elongated one; representative-based merging must keep it whole.
+        // Trimming is disabled — this exercises pure merge behavior.
+        let mut rng = seeded(4);
+        let mut ds = Dataset::with_capacity(2, 260);
+        for i in 0..200 {
+            ds.push(&[0.05 + 0.9 * (i as f64 / 200.0), 0.1 + (rng.gen::<f64>() - 0.5) * 0.02])
+                .unwrap();
+        }
+        for _ in 0..60 {
+            ds.push(&[0.5 + (rng.gen::<f64>() - 0.5) * 0.05, 0.8 + (rng.gen::<f64>() - 0.5) * 0.05])
+                .unwrap();
+        }
+        let mut cfg = HierarchicalConfig::paper_defaults(2);
+        cfg.trim_min_size = 0;
+        let res = hierarchical_cluster(&ds, &cfg).unwrap();
+        assert_eq!(res.clusters.len(), 2);
+        let mut sizes: Vec<usize> = res.clusters.iter().map(|c| c.members.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![60, 200], "elongated cluster was split");
+    }
+
+    #[test]
+    fn trims_sparse_noise_points() {
+        let (mut ds, _) = blobs(2, 100, 5);
+        // Scatter isolated noise points far from the blobs.
+        let mut rng = seeded(6);
+        for _ in 0..8 {
+            ds.push(&[rng.gen::<f64>(), 0.9 + rng.gen::<f64>() * 0.1]).unwrap();
+        }
+        let res = hierarchical_cluster(&ds, &HierarchicalConfig::paper_defaults(2)).unwrap();
+        assert_eq!(res.clusters.len(), 2);
+        let noise = res.assignments.iter().filter(|&&a| a == NOISE).count();
+        assert!(noise > 0, "expected some noise points to be trimmed");
+        // Both real blobs survive as the two clusters: each cluster is pure
+        // (all members from one blob — indices < 200 are blob points) and
+        // keeps the bulk of its blob. The trim phase may shed a minority of
+        // blob points as noise; what matters is that the blobs are not
+        // chained together through the scattered noise points.
+        let mut sizes: Vec<usize> = res.clusters.iter().map(|c| c.members.len()).collect();
+        sizes.sort_unstable();
+        assert!(sizes[0] >= 55, "sizes {sizes:?}");
+        for cluster in &res.clusters {
+            let blob0 = cluster.members.iter().filter(|&&m| m < 100).count();
+            let purity = blob0.max(cluster.members.len() - blob0) as f64
+                / cluster.members.len() as f64;
+            assert!(purity > 0.95, "cluster mixes blobs (purity {purity})");
+        }
+    }
+
+    #[test]
+    fn k_equal_n_returns_singletons() {
+        let (ds, _) = blobs(1, 5, 7);
+        let mut cfg = HierarchicalConfig::paper_defaults(5);
+        cfg.trim_min_size = 0;
+        let res = hierarchical_cluster(&ds, &cfg).unwrap();
+        assert_eq!(res.clusters.len(), 5);
+        assert!(res.clusters.iter().all(|c| c.members.len() == 1));
+    }
+
+    #[test]
+    fn k_larger_than_n_keeps_all_points() {
+        let (ds, _) = blobs(1, 3, 8);
+        let res = hierarchical_cluster(&ds, &HierarchicalConfig::paper_defaults(10)).unwrap();
+        assert_eq!(res.clusters.len(), 3);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let (ds, _) = blobs(1, 10, 9);
+        assert!(hierarchical_cluster(&Dataset::new(2), &HierarchicalConfig::paper_defaults(2))
+            .is_err());
+        assert!(hierarchical_cluster(&ds, &HierarchicalConfig::paper_defaults(0)).is_err());
+        let mut bad = HierarchicalConfig::paper_defaults(2);
+        bad.shrink_factor = 1.5;
+        assert!(hierarchical_cluster(&ds, &bad).is_err());
+        bad = HierarchicalConfig::paper_defaults(2);
+        bad.num_representatives = 0;
+        assert!(hierarchical_cluster(&ds, &bad).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let (ds, _) = blobs(3, 40, 10);
+        let a = hierarchical_cluster(&ds, &HierarchicalConfig::paper_defaults(3)).unwrap();
+        let b = hierarchical_cluster(&ds, &HierarchicalConfig::paper_defaults(3)).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn duplicate_points_cluster_together() {
+        let rows = vec![vec![0.2, 0.2]; 50]
+            .into_iter()
+            .chain(vec![vec![0.8, 0.8]; 50])
+            .collect::<Vec<_>>();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut cfg = HierarchicalConfig::paper_defaults(2);
+        cfg.trim_min_size = 0;
+        let res = hierarchical_cluster(&ds, &cfg).unwrap();
+        assert_eq!(res.clusters.len(), 2);
+        for c in &res.clusters {
+            assert_eq!(c.members.len(), 50);
+        }
+    }
+}

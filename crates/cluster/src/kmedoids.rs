@@ -1,0 +1,272 @@
+//! Weighted K-medoids (PAM-style swap search).
+//!
+//! The second partitional algorithm §3.1 discusses: the cluster
+//! representative is constrained to be an actual data point (the *medoid*),
+//! and the objective is the weighted sum of distances (not squared) to the
+//! assigned medoid. As with K-means, density-biased samples are debiased by
+//! weighting each point with the inverse of its inclusion probability.
+
+use dbs_core::metric::euclidean;
+use dbs_core::rng::{seeded, weighted_index};
+use dbs_core::{Dataset, Error, Result, WeightedSample};
+
+/// Configuration of a K-medoids run.
+#[derive(Debug, Clone)]
+pub struct KMedoidsConfig {
+    /// Number of clusters `k`.
+    pub num_clusters: usize,
+    /// Maximum swap-improvement rounds.
+    pub max_iters: usize,
+    /// Seed for the greedy initialization.
+    pub seed: u64,
+}
+
+impl KMedoidsConfig {
+    /// Defaults: 50 rounds.
+    pub fn new(num_clusters: usize) -> Self {
+        KMedoidsConfig { num_clusters, max_iters: 50, seed: 0 }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of a K-medoids run.
+#[derive(Debug, Clone)]
+pub struct KMedoidsResult {
+    /// Indices (into the input dataset) of the chosen medoids.
+    pub medoids: Vec<usize>,
+    /// Cluster id per input point (index into `medoids`).
+    pub assignments: Vec<usize>,
+    /// Weighted sum of distances to assigned medoids.
+    pub cost: f64,
+    /// Swap rounds performed.
+    pub iterations: usize,
+}
+
+/// Runs weighted K-medoids on `data`.
+///
+/// Initialization is k-means++-style (D-weighted); improvement is the PAM
+/// swap neighborhood, one best swap per round, until no swap improves the
+/// cost or `max_iters` is reached. O(k · n²) per round — intended for
+/// samples, like everything the paper runs.
+pub fn kmedoids(data: &Dataset, weights: &[f64], config: &KMedoidsConfig) -> Result<KMedoidsResult> {
+    let n = data.len();
+    let k = config.num_clusters;
+    if n == 0 {
+        return Err(Error::InvalidParameter("cannot cluster an empty dataset".into()));
+    }
+    if weights.len() != n {
+        return Err(Error::InvalidParameter(format!(
+            "{} weights for {} points",
+            weights.len(),
+            n
+        )));
+    }
+    if k == 0 || k > n {
+        return Err(Error::InvalidParameter(format!("need 1 <= k <= n, got k={k}, n={n}")));
+    }
+    if weights.iter().any(|&w| !(w > 0.0) || !w.is_finite()) {
+        return Err(Error::InvalidParameter("weights must be positive and finite".into()));
+    }
+    let mut rng = seeded(config.seed);
+
+    // D-weighted greedy initialization.
+    let mut medoids: Vec<usize> = Vec::with_capacity(k);
+    medoids.push(weighted_index(&mut rng, weights));
+    let mut dmin: Vec<f64> = (0..n)
+        .map(|i| euclidean(data.point(i), data.point(medoids[0])) * weights[i])
+        .collect();
+    while medoids.len() < k {
+        let total: f64 = dmin.iter().sum();
+        let next = if total > 0.0 {
+            weighted_index(&mut rng, &dmin)
+        } else {
+            rng.gen_range(0..n)
+        };
+        if medoids.contains(&next) {
+            // Mass concentrated on existing medoids (duplicates); fall back
+            // to the first non-medoid.
+            let fallback = (0..n).find(|i| !medoids.contains(i));
+            match fallback {
+                Some(i) => medoids.push(i),
+                None => break,
+            }
+        } else {
+            medoids.push(next);
+        }
+        let m = *medoids.last().expect("just pushed");
+        for i in 0..n {
+            let d = euclidean(data.point(i), data.point(m)) * weights[i];
+            if d < dmin[i] {
+                dmin[i] = d;
+            }
+        }
+    }
+
+    let assign_cost = |medoids: &[usize]| -> (Vec<usize>, f64) {
+        let mut assignments = vec![0usize; n];
+        let mut cost = 0.0;
+        for i in 0..n {
+            let mut best = (0usize, f64::INFINITY);
+            for (c, &m) in medoids.iter().enumerate() {
+                let d = euclidean(data.point(i), data.point(m));
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            assignments[i] = best.0;
+            cost += best.1 * weights[i];
+        }
+        (assignments, cost)
+    };
+
+    let (mut assignments, mut cost) = assign_cost(&medoids);
+    let mut iterations = 0;
+    for it in 0..config.max_iters {
+        iterations = it + 1;
+        // Best single swap (medoid slot, candidate point).
+        let mut best_swap: Option<(usize, usize, f64)> = None;
+        for slot in 0..medoids.len() {
+            let saved = medoids[slot];
+            for cand in 0..n {
+                if medoids.contains(&cand) {
+                    continue;
+                }
+                medoids[slot] = cand;
+                let (_, c) = assign_cost(&medoids);
+                if c + 1e-12 < cost && best_swap.is_none_or(|(_, _, bc)| c < bc) {
+                    best_swap = Some((slot, cand, c));
+                }
+            }
+            medoids[slot] = saved;
+        }
+        match best_swap {
+            Some((slot, cand, _)) => {
+                medoids[slot] = cand;
+                let (a, c) = assign_cost(&medoids);
+                assignments = a;
+                cost = c;
+            }
+            None => break,
+        }
+    }
+
+    Ok(KMedoidsResult { medoids, assignments, cost, iterations })
+}
+
+/// Runs weighted K-medoids on a [`WeightedSample`] (§3.1 debiasing recipe).
+pub fn kmedoids_weighted_sample(
+    sample: &WeightedSample,
+    config: &KMedoidsConfig,
+) -> Result<KMedoidsResult> {
+    kmedoids(sample.points(), sample.weights(), config)
+}
+
+use rand::Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbs_core::rng::seeded;
+    use rand::Rng;
+
+    fn blobs(k: usize, per: usize, seed: u64) -> Dataset {
+        let mut rng = seeded(seed);
+        let mut ds = Dataset::with_capacity(2, k * per);
+        for c in 0..k {
+            let center = (c as f64 + 0.5) / k as f64;
+            for _ in 0..per {
+                ds.push(&[
+                    center + (rng.gen::<f64>() - 0.5) * 0.05,
+                    0.5 + (rng.gen::<f64>() - 0.5) * 0.05,
+                ])
+                .unwrap();
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn medoids_are_data_points_in_distinct_blobs() {
+        let ds = blobs(3, 40, 1);
+        let res = kmedoids(&ds, &vec![1.0; 120], &KMedoidsConfig::new(3).with_seed(2)).unwrap();
+        assert_eq!(res.medoids.len(), 3);
+        let mut blobs_hit: Vec<usize> =
+            res.medoids.iter().map(|&m| (ds.point(m)[0] * 3.0) as usize).collect();
+        blobs_hit.sort_unstable();
+        blobs_hit.dedup();
+        assert_eq!(blobs_hit.len(), 3, "each medoid in its own blob");
+    }
+
+    #[test]
+    fn assignments_point_to_nearest_medoid() {
+        let ds = blobs(2, 30, 3);
+        let res = kmedoids(&ds, &vec![1.0; 60], &KMedoidsConfig::new(2).with_seed(4)).unwrap();
+        for i in 0..ds.len() {
+            let assigned = res.medoids[res.assignments[i]];
+            let d = euclidean(ds.point(i), ds.point(assigned));
+            for &m in &res.medoids {
+                assert!(d <= euclidean(ds.point(i), ds.point(m)) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_search_improves_over_init() {
+        let ds = blobs(4, 25, 5);
+        let w = vec![1.0; 100];
+        // One round vs many rounds: cost must be monotone non-increasing.
+        let mut one = KMedoidsConfig::new(4).with_seed(6);
+        one.max_iters = 0;
+        let base = kmedoids(&ds, &w, &one).unwrap();
+        let full = kmedoids(&ds, &w, &KMedoidsConfig::new(4).with_seed(6)).unwrap();
+        assert!(full.cost <= base.cost + 1e-12);
+    }
+
+    #[test]
+    fn weights_move_the_medoid() {
+        // Three collinear points; a heavy weight on the right point drags
+        // the single medoid there.
+        let ds = Dataset::from_rows(&[vec![0.0], vec![0.5], vec![1.0]]).unwrap();
+        let res = kmedoids(&ds, &[1.0, 1.0, 10.0], &KMedoidsConfig::new(1)).unwrap();
+        assert_eq!(ds.point(res.medoids[0]), &[1.0]);
+    }
+
+    #[test]
+    fn k_equals_n_zero_cost() {
+        let ds = blobs(1, 4, 7);
+        let res = kmedoids(&ds, &[1.0; 4], &KMedoidsConfig::new(4).with_seed(8)).unwrap();
+        assert!(res.cost < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let rows = vec![vec![0.5, 0.5]; 10];
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let res = kmedoids(&ds, &[1.0; 10], &KMedoidsConfig::new(3).with_seed(9)).unwrap();
+        assert_eq!(res.medoids.len(), 3);
+        assert!(res.cost < 1e-12);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let ds = blobs(1, 10, 10);
+        assert!(kmedoids(&Dataset::new(2), &[], &KMedoidsConfig::new(2)).is_err());
+        assert!(kmedoids(&ds, &[1.0; 10], &KMedoidsConfig::new(0)).is_err());
+        assert!(kmedoids(&ds, &[1.0; 10], &KMedoidsConfig::new(11)).is_err());
+        assert!(kmedoids(&ds, &[1.0; 3], &KMedoidsConfig::new(2)).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = blobs(2, 30, 11);
+        let w = vec![1.0; 60];
+        let a = kmedoids(&ds, &w, &KMedoidsConfig::new(2).with_seed(12)).unwrap();
+        let b = kmedoids(&ds, &w, &KMedoidsConfig::new(2).with_seed(12)).unwrap();
+        assert_eq!(a.medoids, b.medoids);
+    }
+}

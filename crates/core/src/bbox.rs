@@ -1,0 +1,189 @@
+//! Axis-aligned bounding boxes.
+
+/// An axis-aligned box `[min_0, max_0] x ... x [min_{d-1}, max_{d-1}]`.
+///
+/// Used for true-cluster regions in the synthetic generators, kd-tree node
+/// extents, and the "cluster found" evaluation criterion of §4.3 of the
+/// paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundingBox {
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+impl BoundingBox {
+    /// Creates a box from its corner points.
+    ///
+    /// Panics if the corners have different dimensionality or if any
+    /// `min[j] > max[j]`.
+    pub fn new(min: Vec<f64>, max: Vec<f64>) -> Self {
+        assert_eq!(min.len(), max.len(), "corner dimensionality mismatch");
+        assert!(!min.is_empty(), "bounding box must have dimension >= 1");
+        for j in 0..min.len() {
+            assert!(min[j] <= max[j], "min[{j}] > max[{j}]");
+        }
+        BoundingBox { min, max }
+    }
+
+    /// The unit cube `[0,1]^d`, the paper's canonical data domain.
+    pub fn unit(dim: usize) -> Self {
+        BoundingBox::new(vec![0.0; dim], vec![1.0; dim])
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn min(&self) -> &[f64] {
+        &self.min
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn max(&self) -> &[f64] {
+        &self.max
+    }
+
+    /// Dimensionality of the box.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Side length along dimension `j`.
+    #[inline]
+    pub fn extent(&self, j: usize) -> f64 {
+        self.max[j] - self.min[j]
+    }
+
+    /// The box volume (product of side lengths).
+    pub fn volume(&self) -> f64 {
+        (0..self.dim()).map(|j| self.extent(j)).product()
+    }
+
+    /// The center point of the box.
+    pub fn center(&self) -> Vec<f64> {
+        (0..self.dim()).map(|j| 0.5 * (self.min[j] + self.max[j])).collect()
+    }
+
+    /// Whether `p` lies inside the box (boundaries inclusive).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(p.len(), self.dim());
+        p.iter()
+            .zip(self.min.iter().zip(self.max.iter()))
+            .all(|(&x, (&lo, &hi))| x >= lo && x <= hi)
+    }
+
+    /// Whether the two boxes overlap (touching counts as overlapping).
+    pub fn intersects(&self, other: &BoundingBox) -> bool {
+        debug_assert_eq!(self.dim(), other.dim());
+        (0..self.dim()).all(|j| self.min[j] <= other.max[j] && other.min[j] <= self.max[j])
+    }
+
+    /// The smallest box containing both inputs.
+    pub fn union(&self, other: &BoundingBox) -> BoundingBox {
+        debug_assert_eq!(self.dim(), other.dim());
+        let min = (0..self.dim()).map(|j| self.min[j].min(other.min[j])).collect();
+        let max = (0..self.dim()).map(|j| self.max[j].max(other.max[j])).collect();
+        BoundingBox::new(min, max)
+    }
+
+    /// Grows the box by `margin` on every side (clamped so min <= max is
+    /// preserved for negative margins).
+    pub fn inflate(&self, margin: f64) -> BoundingBox {
+        let mut min = self.min.clone();
+        let mut max = self.max.clone();
+        for j in 0..self.dim() {
+            let lo = min[j] - margin;
+            let hi = max[j] + margin;
+            if lo <= hi {
+                min[j] = lo;
+                max[j] = hi;
+            } else {
+                let mid = 0.5 * (min[j] + max[j]);
+                min[j] = mid;
+                max[j] = mid;
+            }
+        }
+        BoundingBox::new(min, max)
+    }
+
+    /// Squared Euclidean distance from `p` to the box (0 if inside).
+    pub fn dist_sq_to_point(&self, p: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), self.dim());
+        let mut acc = 0.0;
+        for j in 0..self.dim() {
+            let d = if p[j] < self.min[j] {
+                self.min[j] - p[j]
+            } else if p[j] > self.max[j] {
+                p[j] - self.max[j]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_boundary() {
+        let bb = BoundingBox::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+        assert!(bb.contains(&[0.0, 0.0]));
+        assert!(bb.contains(&[1.0, 2.0]));
+        assert!(bb.contains(&[0.5, 1.0]));
+        assert!(!bb.contains(&[1.0001, 1.0]));
+    }
+
+    #[test]
+    fn volume_and_center() {
+        let bb = BoundingBox::new(vec![0.0, 1.0], vec![2.0, 4.0]);
+        assert_eq!(bb.volume(), 6.0);
+        assert_eq!(bb.center(), vec![1.0, 2.5]);
+    }
+
+    #[test]
+    fn unit_cube() {
+        let bb = BoundingBox::unit(3);
+        assert_eq!(bb.volume(), 1.0);
+        assert!(bb.contains(&[0.5, 0.5, 0.5]));
+    }
+
+    #[test]
+    fn intersects_and_union() {
+        let a = BoundingBox::new(vec![0.0], vec![1.0]);
+        let b = BoundingBox::new(vec![0.5], vec![2.0]);
+        let c = BoundingBox::new(vec![1.5], vec![3.0]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        let u = a.union(&c);
+        assert_eq!(u.min(), &[0.0]);
+        assert_eq!(u.max(), &[3.0]);
+    }
+
+    #[test]
+    fn inflate_grows_and_clamps() {
+        let bb = BoundingBox::new(vec![0.4], vec![0.6]);
+        let big = bb.inflate(0.1);
+        assert!((big.min()[0] - 0.3).abs() < 1e-12);
+        assert!((big.max()[0] - 0.7).abs() < 1e-12);
+        let collapsed = bb.inflate(-1.0);
+        assert!(collapsed.min()[0] <= collapsed.max()[0]);
+    }
+
+    #[test]
+    fn dist_sq_to_point() {
+        let bb = BoundingBox::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert_eq!(bb.dist_sq_to_point(&[0.5, 0.5]), 0.0);
+        assert!((bb.dist_sq_to_point(&[2.0, 0.5]) - 1.0).abs() < 1e-12);
+        assert!((bb.dist_sq_to_point(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_inverted_bounds() {
+        let _ = BoundingBox::new(vec![1.0], vec![0.0]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Dense in-memory dataset of `d`-dimensional points.
+
+use crate::bbox::BoundingBox;
+use crate::error::{Error, Result};
+
+/// A dense, row-major collection of `d`-dimensional points.
+///
+/// Storage is a single flat `Vec<f64>` of length `len * dim`; points are
+/// exposed as `&[f64]` slices. This is the representation every algorithm in
+/// the workspace consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset of dimensionality `dim`.
+    ///
+    /// `dim` must be at least 1.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim >= 1, "dataset dimensionality must be >= 1");
+        Dataset { dim, data: Vec::new() }
+    }
+
+    /// Creates an empty dataset with room for `capacity` points.
+    pub fn with_capacity(dim: usize, capacity: usize) -> Self {
+        assert!(dim >= 1, "dataset dimensionality must be >= 1");
+        Dataset { dim, data: Vec::with_capacity(dim * capacity) }
+    }
+
+    /// Builds a dataset from a flat row-major buffer.
+    ///
+    /// Returns an error if the buffer length is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f64>) -> Result<Self> {
+        if dim == 0 {
+            return Err(Error::InvalidParameter("dim must be >= 1".into()));
+        }
+        if !data.len().is_multiple_of(dim) {
+            return Err(Error::InvalidParameter(format!(
+                "flat buffer of length {} is not a multiple of dim {}",
+                data.len(),
+                dim
+            )));
+        }
+        Ok(Dataset { dim, data })
+    }
+
+    /// Builds a dataset from a slice of rows.
+    ///
+    /// All rows must share the same dimensionality.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let dim = rows.first().map(|r| r.len()).unwrap_or(0);
+        if dim == 0 {
+            return Err(Error::InvalidParameter(
+                "from_rows requires at least one non-empty row".into(),
+            ));
+        }
+        let mut ds = Dataset::with_capacity(dim, rows.len());
+        for row in rows {
+            ds.push(row)?;
+        }
+        Ok(ds)
+    }
+
+    /// The dimensionality of every point in the dataset.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a point. Errors if its dimensionality differs from the
+    /// dataset's.
+    pub fn push(&mut self, point: &[f64]) -> Result<()> {
+        if point.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, got: point.len() });
+        }
+        self.data.extend_from_slice(point);
+        Ok(())
+    }
+
+    /// Returns the `i`-th point.
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Returns the `i`-th point, or `None` if out of range.
+    pub fn get(&self, i: usize) -> Option<&[f64]> {
+        if i < self.len() {
+            Some(self.point(i))
+        } else {
+            None
+        }
+    }
+
+    /// Mutable access to the `i`-th point.
+    #[inline]
+    pub fn point_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterates over all points in index order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[f64]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The underlying flat row-major buffer.
+    pub fn as_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the dataset, returning the flat buffer.
+    pub fn into_flat(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Appends every point of `other`. Errors on dimensionality mismatch.
+    pub fn extend_from(&mut self, other: &Dataset) -> Result<()> {
+        if other.dim != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, got: other.dim });
+        }
+        self.data.extend_from_slice(&other.data);
+        Ok(())
+    }
+
+    /// Builds a new dataset from the points at `indices` (in that order).
+    ///
+    /// Panics if any index is out of range.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::with_capacity(self.dim, indices.len());
+        for &i in indices {
+            out.data.extend_from_slice(self.point(i));
+        }
+        out
+    }
+
+    /// The tight axis-aligned bounding box of the dataset, or `None` if it is
+    /// empty.
+    pub fn bounding_box(&self) -> Option<BoundingBox> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut min = self.point(0).to_vec();
+        let mut max = min.clone();
+        for p in self.iter().skip(1) {
+            for j in 0..self.dim {
+                if p[j] < min[j] {
+                    min[j] = p[j];
+                }
+                if p[j] > max[j] {
+                    max[j] = p[j];
+                }
+            }
+        }
+        Some(BoundingBox::new(min, max))
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a [f64];
+    type IntoIter = std::slice::ChunksExact<'a, f64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.chunks_exact(self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(&[vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]]).unwrap()
+    }
+
+    #[test]
+    fn push_and_access() {
+        let mut ds = Dataset::new(3);
+        assert!(ds.is_empty());
+        ds.push(&[1.0, 2.0, 3.0]).unwrap();
+        ds.push(&[4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.point(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(ds.get(2), None);
+    }
+
+    #[test]
+    fn push_rejects_wrong_dim() {
+        let mut ds = Dataset::new(2);
+        let err = ds.push(&[1.0]).unwrap_err();
+        assert!(matches!(err, Error::DimensionMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn from_flat_validates_length() {
+        assert!(Dataset::from_flat(2, vec![1.0, 2.0, 3.0]).is_err());
+        let ds = Dataset::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(Dataset::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn iter_matches_points() {
+        let ds = sample();
+        let rows: Vec<_> = ds.iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn select_reorders() {
+        let ds = sample();
+        let sub = ds.select(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.point(0), &[4.0, 5.0]);
+        assert_eq!(sub.point(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn bounding_box_is_tight() {
+        let ds = sample();
+        let bb = ds.bounding_box().unwrap();
+        assert_eq!(bb.min(), &[0.0, 1.0]);
+        assert_eq!(bb.max(), &[4.0, 5.0]);
+        assert!(Dataset::new(2).bounding_box().is_none());
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut a = sample();
+        let b = sample();
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 6);
+        let c = Dataset::new(3);
+        assert!(a.extend_from(&c).is_err());
+    }
+
+    #[test]
+    fn point_mut_mutates() {
+        let mut ds = sample();
+        ds.point_mut(0)[1] = 42.0;
+        assert_eq!(ds.point(0), &[0.0, 42.0]);
+    }
+}

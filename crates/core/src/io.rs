@@ -1,0 +1,249 @@
+//! Dataset file I/O.
+//!
+//! Two formats are supported:
+//!
+//! * a whitespace/comma-separated text format (one point per line, `#`
+//!   comments), convenient for importing external data;
+//! * a little-endian binary format (`DBS1` magic, `u32` dim, `u64` count,
+//!   then `f64` coordinates), used by [`FileSource`] to stream datasets that
+//!   should not be materialized in memory — this is what makes the paper's
+//!   "one/two dataset passes" claims meaningful for large data.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use crate::scan::PointSource;
+
+const MAGIC: &[u8; 4] = b"DBS1";
+
+/// Writes `data` in the text format: one point per line, values separated by
+/// a single space.
+pub fn write_text(path: &Path, data: &Dataset) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for p in data.iter() {
+        let mut first = true;
+        for &x in p {
+            if !first {
+                write!(w, " ")?;
+            }
+            write!(w, "{x}")?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads the text format. Lines may separate values with spaces, tabs, or
+/// commas; empty lines and lines starting with `#` are skipped. All rows
+/// must have the same number of values.
+pub fn read_text(path: &Path) -> Result<Dataset> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut ds: Option<Dataset> = None;
+    let mut row: Vec<f64> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        row.clear();
+        for tok in trimmed.split(|c: char| c.is_whitespace() || c == ',') {
+            if tok.is_empty() {
+                continue;
+            }
+            let v: f64 = tok.parse().map_err(|_| Error::Parse {
+                line: lineno + 1,
+                message: format!("not a number: {tok:?}"),
+            })?;
+            row.push(v);
+        }
+        match &mut ds {
+            None => {
+                let mut d = Dataset::new(row.len());
+                d.push(&row).expect("first row defines the dimension");
+                ds = Some(d);
+            }
+            Some(d) => {
+                d.push(&row).map_err(|_| Error::Parse {
+                    line: lineno + 1,
+                    message: format!(
+                        "row has {} values, expected {}",
+                        row.len(),
+                        d.dim()
+                    ),
+                })?;
+            }
+        }
+    }
+    ds.ok_or_else(|| Error::InvalidParameter("file contains no points".into()))
+}
+
+/// Writes `data` in the binary format.
+pub fn write_binary(path: &Path, data: &Dataset) -> Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(data.dim() as u32).to_le_bytes())?;
+    w.write_all(&(data.len() as u64).to_le_bytes())?;
+    for &x in data.as_flat() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn read_header(r: &mut impl Read) -> Result<(usize, usize)> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(Error::Parse { line: 0, message: "bad magic, not a DBS1 file".into() });
+    }
+    let mut dim_buf = [0u8; 4];
+    r.read_exact(&mut dim_buf)?;
+    let mut len_buf = [0u8; 8];
+    r.read_exact(&mut len_buf)?;
+    let dim = u32::from_le_bytes(dim_buf) as usize;
+    let len = u64::from_le_bytes(len_buf) as usize;
+    if dim == 0 {
+        return Err(Error::Parse { line: 0, message: "header declares dim 0".into() });
+    }
+    Ok((dim, len))
+}
+
+/// Reads the binary format fully into memory.
+pub fn read_binary(path: &Path) -> Result<Dataset> {
+    let mut r = BufReader::new(File::open(path)?);
+    let (dim, len) = read_header(&mut r)?;
+    let mut flat = vec![0.0f64; dim * len];
+    let mut buf = [0u8; 8];
+    for v in flat.iter_mut() {
+        r.read_exact(&mut buf)?;
+        *v = f64::from_le_bytes(buf);
+    }
+    Dataset::from_flat(dim, flat)
+}
+
+/// A binary dataset file exposed as a streaming [`PointSource`].
+///
+/// Each [`PointSource::scan`] re-opens the file and reads it sequentially in
+/// fixed-size chunks, so memory usage is independent of the dataset size.
+pub struct FileSource {
+    path: PathBuf,
+    dim: usize,
+    len: usize,
+}
+
+impl FileSource {
+    /// Opens a binary dataset file, reading only its header.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let (dim, len) = read_header(&mut r)?;
+        Ok(FileSource { path: path.to_path_buf(), dim, len })
+    }
+}
+
+impl PointSource for FileSource {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(usize, &[f64])) -> Result<()> {
+        let mut r = BufReader::with_capacity(1 << 16, File::open(&self.path)?);
+        let (dim, len) = read_header(&mut r)?;
+        if dim != self.dim || len != self.len {
+            return Err(Error::Parse { line: 0, message: "file changed since open".into() });
+        }
+        let mut point = vec![0.0f64; dim];
+        let mut buf = [0u8; 8];
+        for i in 0..len {
+            for v in point.iter_mut() {
+                r.read_exact(&mut buf)?;
+                *v = f64::from_le_bytes(buf);
+            }
+            visit(i, &point);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(&[vec![1.5, -2.0], vec![0.0, 3.25], vec![1e9, 1e-9]]).unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("dbs_core_io_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let path = tmp("text.txt");
+        let ds = sample();
+        write_text(&path, &ds).unwrap();
+        let back = read_text(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn text_skips_comments_and_parses_commas() {
+        let path = tmp("comments.txt");
+        std::fs::write(&path, "# header\n1,2\n\n3\t4\n").unwrap();
+        let ds = read_text(&path).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.point(1), &[3.0, 4.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn text_rejects_ragged_rows() {
+        let path = tmp("ragged.txt");
+        std::fs::write(&path, "1 2\n3 4 5\n").unwrap();
+        assert!(matches!(read_text(&path), Err(Error::Parse { line: 2, .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let path = tmp("bin.dbs");
+        let ds = sample();
+        write_binary(&path, &ds).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(ds, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let path = tmp("bad.dbs");
+        std::fs::write(&path, b"NOPE____________").unwrap();
+        assert!(read_binary(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_source_streams_identical_points() {
+        let path = tmp("stream.dbs");
+        let ds = sample();
+        write_binary(&path, &ds).unwrap();
+        let src = FileSource::open(&path).unwrap();
+        assert_eq!(src.dim(), 2);
+        assert_eq!(PointSource::len(&src), 3);
+        let collected = src.collect_dataset().unwrap();
+        assert_eq!(ds, collected);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,46 @@
+//! # dbs-core
+//!
+//! Core data model for the reproduction of *Kollios, Gunopulos, Koudas,
+//! Berchtold: "An Efficient Approximation Scheme for Data Mining Tasks"*
+//! (ICDE 2001).
+//!
+//! This crate contains the substrate shared by every other crate in the
+//! workspace:
+//!
+//! * [`Dataset`] — a dense, row-major collection of `d`-dimensional points,
+//!   the unit of data every estimator, sampler, clusterer and outlier
+//!   detector operates on.
+//! * [`BoundingBox`] and [`Metric`] — geometry primitives.
+//! * [`MinMaxScaler`] — the paper assumes data scaled to the unit cube
+//!   `[0,1]^d`; the scaler performs (and inverts) that mapping.
+//! * [`WeightedSample`] — biased samples carry per-point inverse-probability
+//!   weights so that weight-aware algorithms (K-means / K-medoids, §3.1 of
+//!   the paper) can debias their objective.
+//! * [`rng`] — deterministic seeding helpers plus a small Box–Muller normal
+//!   sampler (the `rand_distr` crate is outside the allowed dependency set).
+//! * [`scan::PointSource`] — a multi-pass streaming abstraction: the paper's
+//!   algorithms are expressed as "one pass to build the estimator, one or two
+//!   passes to sample"; implementing against this trait keeps that structure
+//!   honest for both in-memory and on-disk data.
+
+// Numeric-kernel loops in this crate index several parallel slices at once,
+// and NaN-rejecting guards are written as negated comparisons on purpose.
+#![allow(clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
+pub mod bbox;
+pub mod dataset;
+pub mod error;
+pub mod io;
+pub mod metric;
+pub mod normalize;
+pub mod rng;
+pub mod scan;
+pub mod stats;
+pub mod weighted;
+
+pub use bbox::BoundingBox;
+pub use dataset::Dataset;
+pub use error::{Error, Result};
+pub use metric::Metric;
+pub use normalize::MinMaxScaler;
+pub use scan::PointSource;
+pub use weighted::WeightedSample;

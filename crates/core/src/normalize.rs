@@ -1,0 +1,149 @@
+//! Min-max normalization to the unit cube.
+//!
+//! The paper assumes "for simplicity ... the space domain is `[0,1]^d`,
+//! otherwise we can scale the attributes" (§2.1). [`MinMaxScaler`] performs
+//! exactly that scaling and can invert it to report results in the original
+//! coordinates.
+
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+
+/// Per-dimension affine map onto `[0,1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>, // max - min, with degenerate dimensions mapped to 1.0
+}
+
+impl MinMaxScaler {
+    /// Learns the per-dimension min/max of `data`.
+    ///
+    /// Dimensions with zero spread map every value to `0.0` (and invert back
+    /// to the constant). Errors on an empty dataset.
+    pub fn fit(data: &Dataset) -> Result<Self> {
+        if data.is_empty() {
+            return Err(Error::InvalidParameter("cannot fit scaler on empty dataset".into()));
+        }
+        let bb = data.bounding_box().expect("non-empty dataset has a bounding box");
+        let mins = bb.min().to_vec();
+        let ranges = (0..data.dim())
+            .map(|j| {
+                let r = bb.max()[j] - bb.min()[j];
+                if r > 0.0 {
+                    r
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(MinMaxScaler { mins, ranges })
+    }
+
+    /// The dimensionality the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Maps one point into `[0,1]^d` (in place).
+    pub fn transform_point(&self, p: &mut [f64]) {
+        debug_assert_eq!(p.len(), self.dim());
+        for j in 0..p.len() {
+            p[j] = (p[j] - self.mins[j]) / self.ranges[j];
+        }
+    }
+
+    /// Maps one point back to the original coordinates (in place).
+    pub fn inverse_point(&self, p: &mut [f64]) {
+        debug_assert_eq!(p.len(), self.dim());
+        for j in 0..p.len() {
+            p[j] = p[j] * self.ranges[j] + self.mins[j];
+        }
+    }
+
+    /// Returns a copy of `data` scaled into `[0,1]^d`.
+    pub fn transform(&self, data: &Dataset) -> Result<Dataset> {
+        if data.dim() != self.dim() {
+            return Err(Error::DimensionMismatch { expected: self.dim(), got: data.dim() });
+        }
+        let mut out = data.clone();
+        for i in 0..out.len() {
+            self.transform_point(out.point_mut(i));
+        }
+        Ok(out)
+    }
+
+    /// Returns a copy of `data` mapped back to original coordinates.
+    pub fn inverse(&self, data: &Dataset) -> Result<Dataset> {
+        if data.dim() != self.dim() {
+            return Err(Error::DimensionMismatch { expected: self.dim(), got: data.dim() });
+        }
+        let mut out = data.clone();
+        for i in 0..out.len() {
+            self.inverse_point(out.point_mut(i));
+        }
+        Ok(out)
+    }
+
+    /// Convenience: fit on `data` and return the scaled copy plus the scaler.
+    pub fn fit_transform(data: &Dataset) -> Result<(Dataset, MinMaxScaler)> {
+        let scaler = MinMaxScaler::fit(data)?;
+        let scaled = scaler.transform(data)?;
+        Ok((scaled, scaler))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_transform_lands_in_unit_cube() {
+        let ds =
+            Dataset::from_rows(&[vec![10.0, -5.0], vec![20.0, 5.0], vec![15.0, 0.0]]).unwrap();
+        let (scaled, _) = MinMaxScaler::fit_transform(&ds).unwrap();
+        for p in scaled.iter() {
+            for &x in p {
+                assert!((0.0..=1.0).contains(&x));
+            }
+        }
+        assert_eq!(scaled.point(0), &[0.0, 0.0]);
+        assert_eq!(scaled.point(1), &[1.0, 1.0]);
+        assert_eq!(scaled.point(2), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let ds = Dataset::from_rows(&[vec![3.0, 7.0], vec![-1.0, 2.0], vec![0.5, 4.5]]).unwrap();
+        let (scaled, scaler) = MinMaxScaler::fit_transform(&ds).unwrap();
+        let back = scaler.inverse(&scaled).unwrap();
+        for (a, b) in ds.iter().zip(back.iter()) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_dimension_is_stable() {
+        let ds = Dataset::from_rows(&[vec![2.0, 1.0], vec![2.0, 3.0]]).unwrap();
+        let (scaled, scaler) = MinMaxScaler::fit_transform(&ds).unwrap();
+        assert_eq!(scaled.point(0)[0], 0.0);
+        assert_eq!(scaled.point(1)[0], 0.0);
+        let back = scaler.inverse(&scaled).unwrap();
+        assert_eq!(back.point(0)[0], 2.0);
+        assert_eq!(back.point(1)[0], 2.0);
+    }
+
+    #[test]
+    fn fit_rejects_empty() {
+        assert!(MinMaxScaler::fit(&Dataset::new(2)).is_err());
+    }
+
+    #[test]
+    fn transform_rejects_wrong_dim() {
+        let ds = Dataset::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let scaler = MinMaxScaler::fit(&ds).unwrap();
+        let other = Dataset::from_rows(&[vec![0.0]]).unwrap();
+        assert!(scaler.transform(&other).is_err());
+    }
+}

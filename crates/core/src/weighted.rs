@@ -1,0 +1,127 @@
+//! Weighted samples.
+//!
+//! A biased sample over-represents some regions by construction. §3.1 of the
+//! paper notes that algorithms whose objective weighs every *original* point
+//! equally (K-means, K-medoids) must weight each sampled point by the
+//! inverse of its inclusion probability. [`WeightedSample`] couples the
+//! sampled points with those weights and with the indices of the points in
+//! the source dataset.
+
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+
+/// A sample of points with per-point importance weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedSample {
+    points: Dataset,
+    weights: Vec<f64>,
+    source_indices: Vec<usize>,
+}
+
+impl WeightedSample {
+    /// Bundles sampled `points` with their `weights` (typically `1/p_i`) and
+    /// the index each point had in the source dataset.
+    pub fn new(points: Dataset, weights: Vec<f64>, source_indices: Vec<usize>) -> Result<Self> {
+        if points.len() != weights.len() || points.len() != source_indices.len() {
+            return Err(Error::InvalidParameter(format!(
+                "inconsistent sample: {} points, {} weights, {} indices",
+                points.len(),
+                weights.len(),
+                source_indices.len()
+            )));
+        }
+        if weights.iter().any(|&w| !w.is_finite() || w <= 0.0) {
+            return Err(Error::InvalidParameter(
+                "sample weights must be positive and finite".into(),
+            ));
+        }
+        Ok(WeightedSample { points, weights, source_indices })
+    }
+
+    /// A uniform sample: every weight is `n/b` where `n` is the source size
+    /// and `b` the sample size (inverse of the uniform inclusion rate).
+    pub fn uniform(points: Dataset, source_indices: Vec<usize>, source_len: usize) -> Result<Self> {
+        let b = points.len().max(1);
+        let w = source_len as f64 / b as f64;
+        let weights = vec![w; points.len()];
+        WeightedSample::new(points, weights, source_indices)
+    }
+
+    /// The sampled points.
+    pub fn points(&self) -> &Dataset {
+        &self.points
+    }
+
+    /// The importance weight of each sampled point.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Index of each sampled point in the source dataset.
+    pub fn source_indices(&self) -> &[usize] {
+        &self.source_indices
+    }
+
+    /// Number of sampled points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Sum of weights — an estimate of the source dataset size when weights
+    /// are inverse inclusion probabilities (Horvitz–Thompson).
+    pub fn estimated_source_size(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Decomposes the sample into its parts.
+    pub fn into_parts(self) -> (Dataset, Vec<f64>, Vec<usize>) {
+        (self.points, self.weights, self.source_indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Dataset {
+        Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap()
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        assert!(WeightedSample::new(pts(), vec![1.0, 1.0], vec![0, 1, 2]).is_err());
+        assert!(WeightedSample::new(pts(), vec![1.0; 3], vec![0, 1]).is_err());
+        assert!(WeightedSample::new(pts(), vec![1.0; 3], vec![0, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn new_rejects_bad_weights() {
+        assert!(WeightedSample::new(pts(), vec![1.0, 0.0, 1.0], vec![0, 1, 2]).is_err());
+        assert!(WeightedSample::new(pts(), vec![1.0, f64::NAN, 1.0], vec![0, 1, 2]).is_err());
+        assert!(WeightedSample::new(pts(), vec![1.0, -2.0, 1.0], vec![0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn uniform_weights_are_inverse_rate() {
+        let s = WeightedSample::uniform(pts(), vec![0, 5, 9], 30).unwrap();
+        assert_eq!(s.weights(), &[10.0, 10.0, 10.0]);
+        assert!((s.estimated_source_size() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let s = WeightedSample::new(pts(), vec![2.0, 3.0, 5.0], vec![7, 8, 9]).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.source_indices(), &[7, 8, 9]);
+        let (p, w, idx) = s.into_parts();
+        assert_eq!(p.len(), 3);
+        assert_eq!(w, vec![2.0, 3.0, 5.0]);
+        assert_eq!(idx, vec![7, 8, 9]);
+    }
+}

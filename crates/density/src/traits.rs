@@ -1,0 +1,150 @@
+//! The estimator interface shared by all density backends.
+
+use dbs_core::BoundingBox;
+
+/// A frequency-scaled density estimator over `[0,1]^d` (or any fixed box
+/// domain).
+///
+/// Implementations satisfy, approximately, `∫_R density = |D ∩ R|` for any
+/// region `R` — i.e. the integral over the whole domain is the dataset size
+/// `n`, not 1. This is the convention of §2.1 of the paper and what both the
+/// biased sampler and the outlier pruner rely on.
+pub trait DensityEstimator {
+    /// Dimensionality of the domain.
+    fn dim(&self) -> usize;
+
+    /// Size `n` of the dataset the estimator summarizes.
+    fn dataset_size(&self) -> f64;
+
+    /// Estimated local density at `x` (frequency-scaled: points per unit
+    /// volume).
+    fn density(&self, x: &[f64]) -> f64;
+
+    /// Approximate number of dataset points inside `bbox`.
+    ///
+    /// The default implementation uses midpoint quadrature on a per-dimension
+    /// grid; backends with closed-form box integrals override it.
+    fn integrate_box(&self, bbox: &BoundingBox) -> f64 {
+        quadrature_box(self, bbox, default_quadrature_resolution(self.dim()))
+    }
+
+    /// The average density of the domain: `n / volume(domain)`. Densities
+    /// above this are "denser than average" in the sense of §2.2.
+    fn average_density(&self) -> f64;
+}
+
+/// Quadrature resolution per dimension used by the default
+/// [`DensityEstimator::integrate_box`].
+pub fn default_quadrature_resolution(dim: usize) -> usize {
+    match dim {
+        1 => 256,
+        2 => 48,
+        3 => 16,
+        4 => 8,
+        _ => 5,
+    }
+}
+
+/// Midpoint-rule integral of `est` over `bbox` with `res` cells per
+/// dimension.
+pub fn quadrature_box<E: DensityEstimator + ?Sized>(
+    est: &E,
+    bbox: &BoundingBox,
+    res: usize,
+) -> f64 {
+    let d = bbox.dim();
+    assert_eq!(d, est.dim());
+    assert!(res >= 1);
+    let steps: Vec<f64> = (0..d).map(|j| bbox.extent(j) / res as f64).collect();
+    let cell_volume: f64 = steps.iter().product();
+    if cell_volume == 0.0 {
+        return 0.0;
+    }
+    let mut coords = vec![0usize; d];
+    let mut x = vec![0.0f64; d];
+    let mut acc = 0.0;
+    loop {
+        for j in 0..d {
+            x[j] = bbox.min()[j] + (coords[j] as f64 + 0.5) * steps[j];
+        }
+        acc += est.density(&x);
+        // Odometer advance.
+        let mut j = d;
+        loop {
+            if j == 0 {
+                return acc * cell_volume;
+            }
+            j -= 1;
+            coords[j] += 1;
+            if coords[j] < res {
+                break;
+            }
+            coords[j] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A constant-density estimator over the unit cube for testing the
+    /// default quadrature.
+    struct Flat {
+        dim: usize,
+        n: f64,
+    }
+
+    impl DensityEstimator for Flat {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+        fn dataset_size(&self) -> f64 {
+            self.n
+        }
+        fn density(&self, _x: &[f64]) -> f64 {
+            self.n
+        }
+        fn average_density(&self) -> f64 {
+            self.n
+        }
+    }
+
+    #[test]
+    fn quadrature_integrates_constant_exactly() {
+        let est = Flat { dim: 2, n: 100.0 };
+        let whole = est.integrate_box(&BoundingBox::unit(2));
+        assert!((whole - 100.0).abs() < 1e-9);
+        let half = est.integrate_box(&BoundingBox::new(vec![0.0, 0.0], vec![0.5, 1.0]));
+        assert!((half - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadrature_handles_degenerate_box() {
+        let est = Flat { dim: 2, n: 10.0 };
+        let line = BoundingBox::new(vec![0.2, 0.0], vec![0.2, 1.0]);
+        assert_eq!(est.integrate_box(&line), 0.0);
+    }
+
+    #[test]
+    fn quadrature_linear_density() {
+        // density(x) = 2n*x integrates to n over [0,1].
+        struct Linear;
+        impl DensityEstimator for Linear {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn dataset_size(&self) -> f64 {
+                1.0
+            }
+            fn density(&self, x: &[f64]) -> f64 {
+                2.0 * x[0]
+            }
+            fn average_density(&self) -> f64 {
+                1.0
+            }
+        }
+        let got = Linear.integrate_box(&BoundingBox::unit(1));
+        assert!((got - 1.0).abs() < 1e-6, "got {got}");
+    }
+}

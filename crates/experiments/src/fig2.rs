@@ -1,0 +1,114 @@
+//! Figure 2: total running time of the clustering pipeline vs sample count,
+//! BS-CURE (density-biased sample + hierarchical clustering, including the
+//! estimator and sampling passes) vs RS-CURE (uniform sample + hierarchical
+//! clustering).
+//!
+//! The paper uses 1 million 2-d points and 1000 kernels, sampling 1000 to
+//! 19000 points, and reports that (a) both curves grow quadratically in the
+//! sample size because the clustering dominates, and (b) the biased curve
+//! sits only slightly above the uniform one — the estimator's extra passes
+//! are "more than offset" by running the quadratic algorithm on a smaller
+//! sample for equal accuracy.
+
+use dbs_core::Result;
+use dbs_synth::rect::{generate, RectConfig, SizeProfile};
+
+use crate::pipeline::{run_sampled_clustering, PipelineConfig, Sampler};
+use crate::report::{f, Table};
+use crate::Scale;
+
+/// One measured point of the figure.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Target sample size.
+    pub sample_size: usize,
+    /// BS-CURE total seconds (estimator + sampling + clustering).
+    pub biased_secs: f64,
+    /// BS-CURE clustering-only seconds.
+    pub biased_cluster_secs: f64,
+    /// RS-CURE total seconds.
+    pub uniform_secs: f64,
+}
+
+/// Sample sizes measured at each scale.
+pub fn sample_sizes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![500, 1000, 2000, 4000],
+        Scale::Paper => (1..=10).map(|i| i * 2000 - 1000).collect(), // 1000..19000
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale, seed: u64) -> Result<Vec<Fig2Row>> {
+    let n = match scale {
+        Scale::Quick => 100_000,
+        Scale::Paper => 1_000_000,
+    };
+    let cfg = RectConfig {
+        total_points: n,
+        ..RectConfig::paper_standard(2, seed)
+    };
+    let synth = generate(&cfg, &SizeProfile::Equal)?;
+    let mut rows = Vec::new();
+    for b in sample_sizes(scale) {
+        let biased = run_sampled_clustering(
+            &synth,
+            &PipelineConfig {
+                kernels: scale.kernels(),
+                ..PipelineConfig::new(Sampler::Biased { a: 0.5 }, b, 10, seed ^ b as u64)
+            },
+        )?;
+        let uniform = run_sampled_clustering(
+            &synth,
+            &PipelineConfig::new(Sampler::Uniform, b, 10, seed ^ b as u64 ^ 0xff),
+        )?;
+        rows.push(Fig2Row {
+            sample_size: b,
+            biased_secs: biased.total_time().as_secs_f64(),
+            biased_cluster_secs: biased.clustering_time.as_secs_f64(),
+            uniform_secs: uniform.total_time().as_secs_f64(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the report table.
+pub fn render(scale: Scale, seed: u64) -> Result<String> {
+    let rows = run(scale, seed)?;
+    let mut t = Table::new(&["samples", "BS-CURE s", "BS cluster-only s", "RS-CURE s"]);
+    for r in &rows {
+        t.row(vec![
+            r.sample_size.to_string(),
+            f(r.biased_secs, 3),
+            f(r.biased_cluster_secs, 3),
+            f(r.uniform_secs, 3),
+        ]);
+    }
+    Ok(format!(
+        "Figure 2: clustering pipeline runtime vs sample count ({scale:?} scale)\n{}",
+        t.render()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_grows_superlinearly_with_sample_size() {
+        // Tiny instance of the Figure 2 claim: clustering dominates and is
+        // quadratic, so 4x the sample should cost clearly more than 4x.
+        let rows = run(Scale::Quick, 42).unwrap();
+        let small = &rows[0]; // 500
+        let large = &rows[3]; // 4000 (8x)
+        assert!(
+            large.biased_cluster_secs > 4.0 * small.biased_cluster_secs.max(1e-4),
+            "cluster time {} -> {}",
+            small.biased_cluster_secs,
+            large.biased_cluster_secs
+        );
+        // Biased overhead over uniform is bounded: the estimator adds a
+        // constant, not a blowup.
+        assert!(large.biased_secs < 5.0 * large.uniform_secs + 5.0);
+    }
+}

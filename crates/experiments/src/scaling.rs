@@ -1,0 +1,118 @@
+//! §4.3 runtime-scaling claims: "our algorithm scales linearly to the
+//! number of kernels and the size of the datasets."
+//!
+//! Measures estimator construction + the two sampling passes (clustering is
+//! excluded here — Figure 2 covers it) against (a) the dataset size at a
+//! fixed kernel count and (b) the kernel count at a fixed dataset size,
+//! reporting the per-unit normalized times whose flatness demonstrates
+//! linearity.
+
+use std::time::Instant;
+
+use dbs_core::{BoundingBox, Result};
+use dbs_density::{KdeConfig, KernelDensityEstimator};
+use dbs_sampling::{density_biased_sample, BiasedConfig};
+use dbs_synth::rect::{generate, RectConfig, SizeProfile};
+
+use crate::report::{f, Table};
+use crate::Scale;
+
+/// One measurement.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Varied quantity (points or kernels).
+    pub x: usize,
+    /// Seconds for estimator fit + biased sampling.
+    pub secs: f64,
+    /// `secs / x`, scaled by 1e6 for readability.
+    pub normalized: f64,
+}
+
+fn measure(n: usize, kernels: usize, seed: u64) -> Result<f64> {
+    let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(2, seed) };
+    let synth = generate(&cfg, &SizeProfile::Equal)?;
+    let t0 = Instant::now();
+    let kde_cfg = KdeConfig {
+        num_centers: kernels,
+        domain: Some(BoundingBox::unit(2)),
+        seed,
+        ..Default::default()
+    };
+    let est = KernelDensityEstimator::fit_dataset(&synth.data, &kde_cfg)?;
+    let (_, _) = density_biased_sample(
+        &synth.data,
+        &est,
+        &BiasedConfig::new(n / 100, 1.0).with_seed(seed),
+    )?;
+    Ok(t0.elapsed().as_secs_f64())
+}
+
+/// Sweep over dataset sizes at the scale's kernel count.
+pub fn run_size_sweep(scale: Scale, seed: u64) -> Result<Vec<ScalingRow>> {
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![25_000, 50_000, 100_000],
+        Scale::Paper => vec![100_000, 250_000, 500_000, 1_000_000],
+    };
+    sizes
+        .into_iter()
+        .map(|n| {
+            let secs = measure(n, scale.kernels(), seed)?;
+            Ok(ScalingRow { x: n, secs, normalized: secs / n as f64 * 1e6 })
+        })
+        .collect()
+}
+
+/// Sweep over kernel counts at the scale's base dataset size.
+pub fn run_kernel_sweep(scale: Scale, seed: u64) -> Result<Vec<ScalingRow>> {
+    let kernel_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![250, 500, 1000],
+        Scale::Paper => vec![250, 500, 1000, 2000],
+    };
+    let n = scale.base_points();
+    kernel_counts
+        .into_iter()
+        .map(|ks| {
+            let secs = measure(n, ks, seed)?;
+            Ok(ScalingRow { x: ks, secs, normalized: secs / ks as f64 * 1e6 })
+        })
+        .collect()
+}
+
+/// Renders both sweeps.
+pub fn render(scale: Scale, seed: u64) -> Result<String> {
+    let mut out = String::from("Runtime scaling (§4.3): estimator fit + biased sampling\n\n");
+    let mut t = Table::new(&["points", "seconds", "µs/point"]);
+    for r in run_size_sweep(scale, seed)? {
+        t.row(vec![r.x.to_string(), f(r.secs, 3), f(r.normalized, 3)]);
+    }
+    out.push_str(&format!("Dataset-size sweep ({} kernels):\n{}\n", scale.kernels(), t.render()));
+    let mut t = Table::new(&["kernels", "seconds", "µs/kernel"]);
+    for r in run_kernel_sweep(scale, seed)? {
+        t.row(vec![r.x.to_string(), f(r.secs, 3), f(r.normalized, 3)]);
+    }
+    out.push_str(&format!(
+        "Kernel-count sweep ({} points):\n{}",
+        scale.base_points(),
+        t.render()
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_scaling_is_roughly_linear() {
+        let rows = run_size_sweep(Scale::Quick, 31).unwrap();
+        // 4x the data should cost no more than ~8x the time (generous: the
+        // claim is linear; superlinear blowup would show a much bigger
+        // ratio).
+        let per_point_first = rows.first().unwrap().normalized;
+        let per_point_last = rows.last().unwrap().normalized;
+        assert!(
+            per_point_last < 3.0 * per_point_first + 1.0,
+            "per-point cost grew {per_point_first} -> {per_point_last}"
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! §2 analytical experiment: the Guha et al. uniform-sample-size bound and
+//! the Theorem 1 comparison, including the paper's worked example
+//! (ξ = 0.2, |u| = 1000, δ = 0.1 ⇒ ~25 % of the dataset for uniform
+//! sampling).
+
+use dbs_sampling::theory::{theorem1_row, Theorem1Row};
+
+use crate::report::{f, pct, Table};
+
+/// The configurations tabulated: (n, |u|, ξ, δ).
+pub const CASES: [(usize, usize, f64, f64); 6] = [
+    (1_000_000, 1000, 0.2, 0.1), // the paper's worked example
+    (1_000_000, 1000, 0.5, 0.1),
+    (1_000_000, 10_000, 0.2, 0.1),
+    (100_000, 1000, 0.2, 0.1),
+    (100_000, 500, 0.2, 0.05),
+    (1_000_000, 100, 0.2, 0.1),
+];
+
+/// Computes all rows.
+pub fn run() -> Vec<Theorem1Row> {
+    CASES.iter().map(|&(n, u, xi, delta)| theorem1_row(n, u, xi, delta)).collect()
+}
+
+/// Renders the report table.
+pub fn render() -> String {
+    let mut t = Table::new(&[
+        "n", "|u|", "xi", "delta", "uniform s", "uniform s/n", "biased p", "biased E[s]",
+    ]);
+    for row in run() {
+        t.row(vec![
+            row.n.to_string(),
+            row.cluster_size.to_string(),
+            f(row.xi, 2),
+            f(row.delta, 2),
+            f(row.uniform_size, 0),
+            pct(row.uniform_fraction),
+            f(row.biased_p, 4),
+            f(row.biased_size, 0),
+        ]);
+    }
+    format!(
+        "Theorem 1 / Guha-bound comparison (paper §2)\n\
+         A cluster u is included when >= xi*|u| of it is sampled, w.p. >= 1-delta.\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worked_example_matches_paper() {
+        let rows = run();
+        // First case is the paper's: uniform needs ~23-25% of the dataset.
+        assert!((0.20..0.27).contains(&rows[0].uniform_fraction));
+        // Biased sampling's expected size is dramatically smaller.
+        assert!(rows[0].biased_size < 0.1 * rows[0].uniform_size);
+    }
+
+    #[test]
+    fn render_contains_all_cases() {
+        let s = render();
+        assert_eq!(s.lines().count(), 2 + 2 + CASES.len());
+        assert!(s.contains("25") || s.contains("23"));
+    }
+}

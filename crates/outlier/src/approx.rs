@@ -1,0 +1,350 @@
+//! The paper's approximate DB-outlier detector (§3.2).
+//!
+//! "The basic idea of the algorithm is to sample the regions on which the
+//! data point density is very low. ... we compute, for each point `O`, the
+//! expected number of points in a ball with radius `k` centered at the
+//! point: `N'_D(O,k) = ∫_{Ball(O,k)} f`. We keep the points that have
+//! smaller expected number of neighbors [than the threshold]. These are the
+//! likely outliers. Then, we make another pass over the data, and verify
+//! the number of neighbors for each of the likely outliers."
+//!
+//! The detector therefore costs **two dataset passes** (candidate
+//! generation + verification) on top of the one pass that built the density
+//! estimator — the §4.5 result this module reproduces. A slack factor on
+//! the pruning threshold trades candidate-set size against the risk of the
+//! density estimate smoothing an outlier away.
+
+use dbs_core::{BoundingBox, Dataset, Error, PointSource, Result};
+use dbs_density::ball::expected_neighbors;
+use dbs_density::DensityEstimator;
+use dbs_spatial::GridIndex;
+
+use crate::dbout::DbOutlierParams;
+
+/// Configuration of the approximate detector.
+#[derive(Debug, Clone)]
+pub struct ApproxConfig {
+    /// The DB(p,k) parameters.
+    pub params: DbOutlierParams,
+    /// A point is kept as a likely outlier when its expected neighbor count
+    /// is at most `slack * (p + 1)`. Larger slack = more candidates to
+    /// verify but less risk of missing a true outlier whose neighborhood
+    /// the estimator over-smooths. Default 3.
+    pub slack: f64,
+    /// Monte-Carlo evaluation points per ball integral.
+    pub ball_samples: usize,
+    /// Seed for the ball quadrature.
+    pub seed: u64,
+}
+
+impl ApproxConfig {
+    /// Defaults: slack 3, 64 quadrature samples.
+    pub fn new(params: DbOutlierParams) -> Self {
+        ApproxConfig { params, slack: 3.0, ball_samples: 64, seed: 0 }
+    }
+}
+
+/// Result of an approximate outlier run.
+#[derive(Debug, Clone)]
+pub struct OutlierReport {
+    /// Indices of verified DB(p,k) outliers, ascending.
+    pub outliers: Vec<usize>,
+    /// Number of likely outliers that survived the density pruning (the
+    /// verification workload).
+    pub candidates: usize,
+    /// Dataset passes performed by this call (excluding estimator
+    /// construction): always 2.
+    pub passes: usize,
+}
+
+/// Runs the §3.2 detector: density pruning pass + verification pass.
+///
+/// # Examples
+///
+/// ```
+/// use dbs_core::Dataset;
+/// use dbs_density::{KdeConfig, KernelDensityEstimator};
+/// use dbs_outlier::{approx_outliers, ApproxConfig, DbOutlierParams};
+///
+/// // A tight blob plus one isolated point at index 100.
+/// let mut rows: Vec<Vec<f64>> =
+///     (0..100).map(|i| vec![0.5 + (i % 10) as f64 * 0.004, 0.5 + (i / 10) as f64 * 0.004]).collect();
+/// rows.push(vec![0.05, 0.95]);
+/// let data = Dataset::from_rows(&rows)?;
+///
+/// let kde = KernelDensityEstimator::fit_dataset(&data, &KdeConfig::with_centers(32))?;
+/// let params = DbOutlierParams::new(0.2, 3)?;
+/// let report = approx_outliers(&data, &kde, &ApproxConfig::new(params))?;
+///
+/// assert_eq!(report.outliers, vec![100]);
+/// assert_eq!(report.passes, 2);
+/// # Ok::<(), dbs_core::Error>(())
+/// ```
+pub fn approx_outliers<S, E>(
+    source: &S,
+    estimator: &E,
+    config: &ApproxConfig,
+) -> Result<OutlierReport>
+where
+    S: PointSource + ?Sized,
+    E: DensityEstimator + ?Sized,
+{
+    if source.dim() != estimator.dim() {
+        return Err(Error::DimensionMismatch { expected: estimator.dim(), got: source.dim() });
+    }
+    if !(config.slack >= 1.0) {
+        return Err(Error::InvalidParameter("slack must be >= 1".into()));
+    }
+    let k = config.params.radius;
+    let p = config.params.max_neighbors;
+    let threshold = config.slack * (p as f64 + 1.0);
+
+    // Pass 1: likely outliers = points whose expected ball population is
+    // small. (The integral counts the point's own smoothed mass too, hence
+    // p + 1 above.) A cheap prefilter skips the Monte-Carlo ball integral
+    // for points whose *center* density alone puts them three orders of
+    // magnitude over the threshold — the kernel estimate is smooth at the
+    // bandwidth scale, so the ball average cannot fall 1000x below the
+    // center value for any plausible radius/bandwidth ratio.
+    let ball_vol = dbs_core::metric::ball_volume(source.dim(), k);
+    let skip_above = 1000.0 * threshold;
+    let mut candidate_points = Dataset::with_capacity(source.dim(), 64);
+    let mut candidate_indices: Vec<usize> = Vec::new();
+    source.scan(&mut |i, x| {
+        if estimator.density(x) * ball_vol > skip_above {
+            return;
+        }
+        let expected = expected_neighbors(
+            estimator,
+            x,
+            k,
+            config.ball_samples,
+            config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        if expected <= threshold {
+            candidate_points.push(x).expect("declared dimension");
+            candidate_indices.push(i);
+        }
+    })?;
+    let candidates = candidate_indices.len();
+
+    // Pass 2: count true neighbors of every candidate simultaneously in one
+    // scan. A grid over the candidates finds which of them each data point
+    // is near.
+    let mut neighbor_counts = vec![0usize; candidates];
+    if candidates > 0 {
+        let grid_domain = candidate_points
+            .bounding_box()
+            .expect("candidates non-empty")
+            .inflate(k);
+        let res = GridIndex::auto_resolution(candidates.max(16), source.dim(), 4);
+        let grid = GridIndex::build(&candidate_points, grid_domain, res);
+        let r2 = k * k;
+        source.scan(&mut |i, x| {
+            grid.for_each_candidate_within(x, k, |ci| {
+                let ci = ci as usize;
+                if candidate_indices[ci] != i
+                    && dbs_core::metric::euclidean_sq(x, candidate_points.point(ci)) <= r2
+                {
+                    neighbor_counts[ci] += 1;
+                }
+            });
+        })?;
+    }
+
+    let outliers: Vec<usize> = candidate_indices
+        .iter()
+        .zip(&neighbor_counts)
+        .filter(|(_, &count)| count <= p)
+        .map(|(&i, _)| i)
+        .collect();
+    Ok(OutlierReport { outliers, candidates, passes: 2 })
+}
+
+/// One-pass estimate of the *number* of DB(p,k) outliers in the dataset —
+/// the §3.2 feature that "gives the opportunity for experimental
+/// exploration of k and p" without running the full detector: it counts
+/// the points whose expected neighborhood population is at most `p + 1`.
+pub fn estimate_outlier_count<S, E>(
+    source: &S,
+    estimator: &E,
+    params: &DbOutlierParams,
+    ball_samples: usize,
+    seed: u64,
+) -> Result<usize>
+where
+    S: PointSource + ?Sized,
+    E: DensityEstimator + ?Sized,
+{
+    if source.dim() != estimator.dim() {
+        return Err(Error::DimensionMismatch { expected: estimator.dim(), got: source.dim() });
+    }
+    let mut count = 0usize;
+    source.scan(&mut |i, x| {
+        let expected = expected_neighbors(
+            estimator,
+            x,
+            params.radius,
+            ball_samples,
+            seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        if expected <= params.max_neighbors as f64 + 1.0 {
+            count += 1;
+        }
+    })?;
+    Ok(count)
+}
+
+/// Convenience: fit a KDE on the data and run the full pipeline, returning
+/// the report. `domain` defaults to the unit cube.
+pub fn approx_outliers_with_kde(
+    data: &Dataset,
+    config: &ApproxConfig,
+    num_centers: usize,
+    domain: Option<BoundingBox>,
+    kde_seed: u64,
+) -> Result<OutlierReport> {
+    let kde_cfg = dbs_density::KdeConfig {
+        num_centers,
+        domain,
+        seed: kde_seed,
+        ..Default::default()
+    };
+    let est = dbs_density::KernelDensityEstimator::fit_dataset(data, &kde_cfg)?;
+    approx_outliers(data, &est, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nested::nested_loop_outliers;
+    use dbs_core::rng::seeded;
+    use dbs_density::{KdeConfig, KernelDensityEstimator};
+    use rand::Rng;
+
+    /// Two dense blobs plus isolated planted outliers (appended last).
+    fn planted(seed: u64) -> (Dataset, Vec<usize>) {
+        let mut rng = seeded(seed);
+        let mut ds = Dataset::with_capacity(2, 2006);
+        for _ in 0..1000 {
+            ds.push(&[0.3 + (rng.gen::<f64>() - 0.5) * 0.12, 0.3 + (rng.gen::<f64>() - 0.5) * 0.12])
+                .unwrap();
+        }
+        for _ in 0..1000 {
+            ds.push(&[0.7 + (rng.gen::<f64>() - 0.5) * 0.12, 0.7 + (rng.gen::<f64>() - 0.5) * 0.12])
+                .unwrap();
+        }
+        let outliers = [[0.05, 0.9], [0.9, 0.1], [0.05, 0.05], [0.95, 0.95], [0.5, 0.02], [0.02, 0.5]];
+        let start = ds.len();
+        for o in &outliers {
+            ds.push(o).unwrap();
+        }
+        (ds, (start..start + outliers.len()).collect())
+    }
+
+    fn kde(ds: &Dataset) -> KernelDensityEstimator {
+        let cfg = KdeConfig {
+            domain: Some(BoundingBox::unit(2)),
+            ..KdeConfig::with_centers(500)
+        };
+        KernelDensityEstimator::fit_dataset(ds, &cfg).unwrap()
+    }
+
+    #[test]
+    fn finds_exactly_the_exact_outliers() {
+        let (ds, _) = planted(1);
+        let params = DbOutlierParams::new(0.08, 2).unwrap();
+        let est = kde(&ds);
+        let report = approx_outliers(&ds, &est, &ApproxConfig::new(params)).unwrap();
+        let exact = nested_loop_outliers(&ds, &params);
+        assert_eq!(report.outliers, exact);
+        // Pruning must have done real work: far fewer candidates than n.
+        assert!(report.candidates < ds.len() / 4, "candidates {}", report.candidates);
+    }
+
+    #[test]
+    fn planted_outliers_are_recovered() {
+        let (ds, truth) = planted(2);
+        let params = DbOutlierParams::new(0.1, 3).unwrap();
+        let est = kde(&ds);
+        let report = approx_outliers(&ds, &est, &ApproxConfig::new(params)).unwrap();
+        for t in &truth {
+            assert!(report.outliers.contains(t), "missed planted outlier {t}");
+        }
+    }
+
+    #[test]
+    fn verification_removes_false_candidates() {
+        // With a generous slack, pruning keeps many non-outliers; the
+        // verification pass must cut the result down to the exact set.
+        let (ds, _) = planted(3);
+        let params = DbOutlierParams::new(0.08, 2).unwrap();
+        let est = kde(&ds);
+        let mut cfg = ApproxConfig::new(params);
+        cfg.slack = 10.0;
+        let report = approx_outliers(&ds, &est, &cfg).unwrap();
+        let exact = nested_loop_outliers(&ds, &params);
+        assert_eq!(report.outliers, exact);
+        assert!(report.candidates >= exact.len());
+    }
+
+    #[test]
+    fn two_passes_exactly() {
+        let (ds, _) = planted(4);
+        let params = DbOutlierParams::new(0.08, 2).unwrap();
+        let est = kde(&ds);
+        let counted = dbs_core::scan::PassCounter::new(&ds);
+        let report = approx_outliers(&counted, &est, &ApproxConfig::new(params)).unwrap();
+        assert_eq!(counted.passes(), 2);
+        assert_eq!(report.passes, 2);
+    }
+
+    #[test]
+    fn count_estimate_is_in_the_ballpark() {
+        let (ds, truth) = planted(5);
+        let params = DbOutlierParams::new(0.1, 3).unwrap();
+        let est = kde(&ds);
+        let estimate = estimate_outlier_count(&ds, &est, &params, 64, 6).unwrap();
+        // The one-pass estimate should see roughly the planted outliers,
+        // not hundreds of phantom ones.
+        assert!(estimate >= truth.len() / 2, "estimate {estimate}");
+        assert!(estimate <= 20 * truth.len(), "estimate {estimate}");
+    }
+
+    #[test]
+    fn pipeline_helper_runs_end_to_end() {
+        let (ds, truth) = planted(7);
+        let params = DbOutlierParams::new(0.1, 3).unwrap();
+        let report =
+            approx_outliers_with_kde(&ds, &ApproxConfig::new(params), 500, Some(BoundingBox::unit(2)), 8)
+                .unwrap();
+        for t in &truth {
+            assert!(report.outliers.contains(t));
+        }
+    }
+
+    #[test]
+    fn no_candidates_short_circuits() {
+        // Uniform dense data with a huge radius: nothing looks sparse.
+        let mut rng = seeded(9);
+        let mut ds = Dataset::with_capacity(2, 2000);
+        for _ in 0..2000 {
+            ds.push(&[rng.gen::<f64>(), rng.gen::<f64>()]).unwrap();
+        }
+        let est = kde(&ds);
+        let params = DbOutlierParams::new(0.5, 3).unwrap();
+        let report = approx_outliers(&ds, &est, &ApproxConfig::new(params)).unwrap();
+        assert_eq!(report.candidates, 0);
+        assert!(report.outliers.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let (ds, _) = planted(10);
+        let est = kde(&ds);
+        let params = DbOutlierParams::new(0.1, 3).unwrap();
+        let mut cfg = ApproxConfig::new(params);
+        cfg.slack = 0.5;
+        assert!(approx_outliers(&ds, &est, &cfg).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # dbs-outlier
+//!
+//! Distance-based (DB) outlier detection — §3.2 of the paper.
+//!
+//! Definition 1 (Knorr & Ng \[13\]): *an object `O` in a dataset `D` is a
+//! DB(p,k)-outlier if at most `p` objects in `D` lie at distance at most
+//! `k` from `O`* (the object itself excluded here, consistently across all
+//! detectors).
+//!
+//! * [`nested`] — exact baselines: the classic nested-loop detector with
+//!   early termination, and a kd-tree-accelerated variant.
+//! * [`cellgrid`] — the exact cell-based detector of Knorr & Ng: cells of
+//!   side `k/(2√d)` let whole cells be ruled in or out by ring counts.
+//! * [`metric_general`] — both detectors under L1/L∞ metrics ("different
+//!   distance metrics ... can be used equally well", §3.2).
+//! * [`approx`] — the paper's contribution: prune with the *density
+//!   estimate* (`N'(O,k) = ∫_Ball(O,k) f ≤ threshold` keeps `O` as a likely
+//!   outlier), then verify all survivors in one more dataset pass. The
+//!   paper reports this finds all outliers "with at most two dataset passes
+//!   plus the dataset pass that is required to compute the density
+//!   estimator" (§4.5) — the pass structure this module reproduces.
+
+// Numeric-kernel loops in this crate index several parallel slices at once,
+// and NaN-rejecting guards are written as negated comparisons on purpose.
+#![allow(clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
+pub mod approx;
+pub mod cellgrid;
+pub mod dbout;
+pub mod metric_general;
+pub mod nested;
+
+pub use approx::{approx_outliers, estimate_outlier_count, ApproxConfig, OutlierReport};
+pub use metric_general::{approx_outliers_metric, nested_loop_outliers_metric};
+pub use cellgrid::cell_based_outliers;
+pub use dbout::DbOutlierParams;
+pub use nested::{nested_loop_outliers, kdtree_outliers};

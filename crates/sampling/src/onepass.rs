@@ -1,0 +1,178 @@
+//! Single-pass density-biased sampling.
+//!
+//! §2.2 of the paper: "It is possible to integrate both steps in one, thus
+//! deriving the biased sample in a single pass over the database. In this
+//! case however we only compute an approximation of the sampling
+//! probability."
+//!
+//! The approximation used here: the normalizer `k = Σ_{x∈D} f'(x)` is
+//! estimated from the *kernel centers* instead of a dataset pass. The
+//! centers are a uniform sample of `D` (that is how the estimator was
+//! built), so `k ≈ (n/ks) Σ_{c∈centers} f'(c)` is an unbiased Monte-Carlo
+//! estimate of the sum. Sampling then happens during the only remaining
+//! data pass.
+
+use dbs_core::rng::seeded;
+use dbs_core::{Dataset, Error, PointSource, Result, WeightedSample};
+use dbs_density::{DensityEstimator, KernelDensityEstimator};
+use rand::Rng;
+
+use crate::biased::{BiasedConfig, BiasedSampleStats};
+
+/// Estimates the Figure 1 normalizer `k` from the kernel centers only
+/// (no dataset pass). `floor_rel` is the density floor relative to the
+/// average density, as in [`BiasedConfig::density_floor`].
+pub fn estimate_normalizer(est: &KernelDensityEstimator, a: f64, floor_rel: f64) -> f64 {
+    let centers = est.centers();
+    let ks = centers.len() as f64;
+    let n = est.dataset_size();
+    let floor = floor_rel * est.average_density();
+    let sum: f64 = centers.iter().map(|c| est.density(c).max(floor).powf(a)).sum();
+    n / ks * sum
+}
+
+/// One-pass density-biased sampling with an approximated normalizer.
+///
+/// Identical to [`crate::density_biased_sample`] except that `k` comes from
+/// [`estimate_normalizer`], so only a single scan of `source` is performed.
+/// The expected sample size is `b` only up to the normalizer approximation
+/// error (typically a few percent with 1000 centers).
+pub fn one_pass_biased_sample<S>(
+    source: &S,
+    estimator: &KernelDensityEstimator,
+    config: &BiasedConfig,
+) -> Result<(WeightedSample, BiasedSampleStats)>
+where
+    S: PointSource + ?Sized,
+{
+    let n = source.len();
+    if n == 0 {
+        return Err(Error::InvalidParameter("cannot sample an empty source".into()));
+    }
+    if config.target_size == 0 {
+        return Err(Error::InvalidParameter("target_size must be >= 1".into()));
+    }
+    if source.dim() != estimator.dim() {
+        return Err(Error::DimensionMismatch { expected: estimator.dim(), got: source.dim() });
+    }
+    if !(config.density_floor > 0.0) {
+        return Err(Error::InvalidParameter("density_floor must be positive".into()));
+    }
+
+    let a = config.exponent;
+    let floor_rel = config.density_floor;
+    let floor = floor_rel * estimator.average_density();
+    let k = estimate_normalizer(estimator, a, floor_rel);
+    if !(k.is_finite() && k > 0.0) {
+        return Err(Error::InvalidParameter(format!(
+            "approximated normalizer k = {k} is not positive/finite"
+        )));
+    }
+
+    let b = config.target_size as f64;
+    let mut rng = seeded(config.seed);
+    let mut points = Dataset::with_capacity(source.dim(), config.target_size + 16);
+    let mut weights = Vec::with_capacity(config.target_size + 16);
+    let mut indices = Vec::with_capacity(config.target_size + 16);
+    let mut clipped = 0usize;
+    source.scan(&mut |i, x| {
+        let raw = b * estimator.density(x).max(floor).powf(a) / k;
+        let p = if raw >= 1.0 {
+            clipped += 1;
+            1.0
+        } else {
+            raw
+        };
+        if rng.gen::<f64>() < p {
+            points.push(x).expect("declared dimension");
+            weights.push(1.0 / p);
+            indices.push(i);
+        }
+    })?;
+
+    let stats = BiasedSampleStats { normalizer_k: k, clipped, passes: 1 };
+    Ok((WeightedSample::new(points, weights, indices)?, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::biased::density_biased_sample;
+    use dbs_core::rng::seeded;
+    use dbs_core::BoundingBox;
+    use dbs_density::KdeConfig;
+
+    fn two_blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = seeded(seed);
+        let mut ds = Dataset::with_capacity(2, n);
+        for i in 0..n {
+            let (cx, cy) = if i < n * 9 / 10 { (0.25, 0.25) } else { (0.75, 0.75) };
+            ds.push(&[cx + (rng.gen::<f64>() - 0.5) * 0.1, cy + (rng.gen::<f64>() - 0.5) * 0.1])
+                .unwrap();
+        }
+        ds
+    }
+
+    fn kde(ds: &Dataset) -> KernelDensityEstimator {
+        let cfg = KdeConfig { domain: Some(BoundingBox::unit(2)), ..KdeConfig::with_centers(500) };
+        KernelDensityEstimator::fit_dataset(ds, &cfg).unwrap()
+    }
+
+    #[test]
+    fn single_pass_only() {
+        let ds = two_blobs(5000, 1);
+        let est = kde(&ds);
+        let counted = dbs_core::scan::PassCounter::new(&ds);
+        let (_, stats) =
+            one_pass_biased_sample(&counted, &est, &BiasedConfig::new(200, 1.0)).unwrap();
+        assert_eq!(counted.passes(), 1);
+        assert_eq!(stats.passes, 1);
+    }
+
+    #[test]
+    fn normalizer_close_to_exact() {
+        let ds = two_blobs(20_000, 2);
+        let est = kde(&ds);
+        let floor = 0.01 * est.average_density();
+        for a in [-0.5, 0.5, 1.0] {
+            let approx = estimate_normalizer(&est, a, 0.01);
+            let mut exact = 0.0;
+            for p in ds.iter() {
+                exact += est.density(p).max(floor).powf(a);
+            }
+            let rel = (approx - exact).abs() / exact;
+            assert!(rel < 0.15, "a={a}: approx {approx} vs exact {exact} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn sample_size_near_target() {
+        let ds = two_blobs(20_000, 3);
+        let est = kde(&ds);
+        let (s, _) =
+            one_pass_biased_sample(&ds, &est, &BiasedConfig::new(800, 1.0).with_seed(4)).unwrap();
+        let size = s.len() as f64;
+        assert!((size - 800.0).abs() < 160.0, "size {size}");
+    }
+
+    #[test]
+    fn matches_two_pass_bias_direction() {
+        let ds = two_blobs(20_000, 5);
+        let est = kde(&ds);
+        let cfg = BiasedConfig::new(1000, 1.0).with_seed(6);
+        let (one, _) = one_pass_biased_sample(&ds, &est, &cfg).unwrap();
+        let (two, _) = density_biased_sample(&ds, &est, &cfg).unwrap();
+        let dense_frac = |s: &WeightedSample| {
+            s.points().iter().filter(|p| p[0] < 0.5).count() as f64 / s.len() as f64
+        };
+        assert!((dense_frac(&one) - dense_frac(&two)).abs() < 0.05);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let ds = two_blobs(100, 7);
+        let est = kde(&ds);
+        assert!(one_pass_biased_sample(&Dataset::new(2), &est, &BiasedConfig::new(5, 1.0)).is_err());
+        assert!(one_pass_biased_sample(&ds, &est, &BiasedConfig::new(0, 1.0)).is_err());
+    }
+}

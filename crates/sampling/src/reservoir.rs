@@ -1,0 +1,196 @@
+//! Reservoir sampling (Vitter, reference \[29\] of the paper).
+//!
+//! Produces an exact-size uniform sample in a single pass without knowing
+//! the dataset size in advance. Two variants: the classic Algorithm R
+//! (one random number per point) and the skip-ahead Algorithm L
+//! (O(b log(n/b)) random numbers), which visits the same distribution much
+//! faster on large streams.
+
+use dbs_core::rng::seeded;
+use dbs_core::{Dataset, Error, PointSource, Result, WeightedSample};
+use rand::Rng;
+
+/// Algorithm R: keep the first `b` points, then replace a random slot with
+/// probability `b / (i+1)` for the `i`-th point.
+pub fn reservoir_sample<S: PointSource + ?Sized>(
+    source: &S,
+    b: usize,
+    seed: u64,
+) -> Result<WeightedSample> {
+    if b == 0 {
+        return Err(Error::InvalidParameter("sample size must be >= 1".into()));
+    }
+    if source.is_empty() {
+        return Err(Error::InvalidParameter("cannot sample an empty source".into()));
+    }
+    let mut rng = seeded(seed);
+    let dim = source.dim();
+    let mut points = Dataset::with_capacity(dim, b);
+    let mut indices: Vec<usize> = Vec::with_capacity(b);
+    source.scan(&mut |i, x| {
+        if i < b {
+            points.push(x).expect("declared dimension");
+            indices.push(i);
+        } else {
+            let slot = rng.gen_range(0..=i);
+            if slot < b {
+                points.point_mut(slot).copy_from_slice(x);
+                indices[slot] = i;
+            }
+        }
+    })?;
+    let n = source.len();
+    WeightedSample::uniform(points, indices, n)
+}
+
+/// Algorithm L (Li 1994): like Algorithm R but skips ahead geometrically,
+/// touching only the points that actually enter the reservoir.
+pub fn reservoir_sample_skip<S: PointSource + ?Sized>(
+    source: &S,
+    b: usize,
+    seed: u64,
+) -> Result<WeightedSample> {
+    if b == 0 {
+        return Err(Error::InvalidParameter("sample size must be >= 1".into()));
+    }
+    if source.is_empty() {
+        return Err(Error::InvalidParameter("cannot sample an empty source".into()));
+    }
+    let mut rng = seeded(seed);
+    let dim = source.dim();
+    let mut points = Dataset::with_capacity(dim, b);
+    let mut indices: Vec<usize> = Vec::with_capacity(b);
+    // w is the running max of b "virtual" uniform keys.
+    let mut w: f64 = (rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / b as f64).exp();
+    let mut next: usize = b; // index of the next point that enters
+    let mut pending_skip = false;
+    source.scan(&mut |i, x| {
+        if i < b {
+            points.push(x).expect("declared dimension");
+            indices.push(i);
+            return;
+        }
+        if !pending_skip {
+            // Compute the index of the next accepted point from i == b.
+            let g = (rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / (1.0 - w).ln()).floor();
+            next = b + g as usize;
+            pending_skip = true;
+        }
+        if i == next {
+            let slot = rng.gen_range(0..b);
+            points.point_mut(slot).copy_from_slice(x);
+            indices[slot] = i;
+            w *= (rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / b as f64).exp();
+            let g = (rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / (1.0 - w).ln()).floor();
+            next = i + 1 + g as usize;
+        }
+    })?;
+    let n = source.len();
+    WeightedSample::uniform(points, indices, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbs_core::rng;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::with_capacity(1, n);
+        for i in 0..n {
+            ds.push(&[i as f64]).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn exact_size_and_distinct_indices() {
+        let ds = dataset(5000);
+        for f in [reservoir_sample, reservoir_sample_skip] {
+            let s = f(&ds, 100, 1).unwrap();
+            assert_eq!(s.len(), 100);
+            let mut idx = s.source_indices().to_vec();
+            idx.sort_unstable();
+            idx.dedup();
+            assert_eq!(idx.len(), 100);
+        }
+    }
+
+    #[test]
+    fn small_stream_keeps_everything() {
+        let ds = dataset(7);
+        for f in [reservoir_sample, reservoir_sample_skip] {
+            let s = f(&ds, 20, 2).unwrap();
+            assert_eq!(s.len(), 7);
+        }
+    }
+
+    #[test]
+    fn one_pass_only() {
+        let ds = dataset(100);
+        let counted = dbs_core::scan::PassCounter::new(&ds);
+        let _ = reservoir_sample(&counted, 10, 3).unwrap();
+        assert_eq!(counted.passes(), 1);
+        let _ = reservoir_sample_skip(&counted, 10, 3).unwrap();
+        assert_eq!(counted.passes(), 2);
+    }
+
+    #[test]
+    fn indices_match_points() {
+        let ds = dataset(1000);
+        for f in [reservoir_sample, reservoir_sample_skip] {
+            let s = f(&ds, 50, 4).unwrap();
+            for (k, &i) in s.source_indices().iter().enumerate() {
+                assert_eq!(s.points().point(k), ds.point(i));
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm_r_is_uniform() {
+        // Chi-square-style sanity: each of 50 items picked ~ trials*b/n.
+        let ds = dataset(50);
+        let trials = 3000;
+        let mut counts = vec![0usize; 50];
+        for t in 0..trials {
+            let s = reservoir_sample(&ds, 10, rng::sub_seed(5, t)).unwrap();
+            for &i in s.source_indices() {
+                counts[i] += 1;
+            }
+        }
+        let expect = trials as f64 * 10.0 / 50.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.2,
+                "item {i} picked {c}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn algorithm_l_is_uniform() {
+        let ds = dataset(50);
+        let trials = 3000;
+        let mut counts = vec![0usize; 50];
+        for t in 0..trials {
+            let s = reservoir_sample_skip(&ds, 10, rng::sub_seed(6, t)).unwrap();
+            for &i in s.source_indices() {
+                counts[i] += 1;
+            }
+        }
+        let expect = trials as f64 * 10.0 / 50.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.2,
+                "item {i} picked {c}, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(reservoir_sample(&Dataset::new(1), 5, 0).is_err());
+        assert!(reservoir_sample(&dataset(5), 0, 0).is_err());
+        assert!(reservoir_sample_skip(&Dataset::new(1), 5, 0).is_err());
+        assert!(reservoir_sample_skip(&dataset(5), 0, 0).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Analytical results: the Guha et al. uniform-sample-size bound and the
+//! paper's Theorem 1.
+//!
+//! §2 of the paper quotes, from Guha, Rastogi, Shim (CURE, SIGMOD 1998),
+//! the sample size `s` required so that uniform random sampling includes a
+//! `ξ`-fraction of a cluster `u` with probability at least `1 - δ`:
+//!
+//! ```text
+//! s >= ξ·n + (n/|u|)·log(1/δ) + (n/|u|)·sqrt( log(1/δ)^2 + 2·ξ·|u|·log(1/δ) )
+//! ```
+//!
+//! Theorem 1 then states that sampling with in-cluster inclusion
+//! probability `p` (rule R) needs a sample no larger than uniform iff
+//! `p >= |u| / n`.
+
+/// Chernoff-style sample size required by **uniform** random sampling to
+/// include at least `xi * cluster_size` points of the cluster with
+/// probability `>= 1 - delta` (Guha et al. 1998; §2 of the paper).
+///
+/// Panics unless `0 <= xi <= 1`, `0 < delta < 1`, and
+/// `1 <= cluster_size <= n`.
+pub fn uniform_sample_size(n: usize, cluster_size: usize, xi: f64, delta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&xi), "xi must be in [0,1]");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    assert!(cluster_size >= 1 && cluster_size <= n, "need 1 <= |u| <= n");
+    let n = n as f64;
+    let u = cluster_size as f64;
+    let log_term = (1.0 / delta).ln();
+    xi * n + n / u * log_term + n / u * (log_term * log_term + 2.0 * xi * u * log_term).sqrt()
+}
+
+/// The minimum in-cluster inclusion probability `p` such that drawing each
+/// cluster point independently with probability `p` yields at least
+/// `xi * cluster_size` cluster points with probability `>= 1 - delta`.
+///
+/// This is the same Chernoff algebra as [`uniform_sample_size`] applied to
+/// the cluster alone (a biased rule samples the cluster like a uniform rule
+/// samples a dataset of size `|u|` at rate `p`).
+pub fn biased_required_probability(cluster_size: usize, xi: f64, delta: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&xi), "xi must be in [0,1]");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    assert!(cluster_size >= 1, "cluster must be non-empty");
+    let u = cluster_size as f64;
+    let log_term = (1.0 / delta).ln();
+    let p = xi + log_term / u + (log_term * log_term + 2.0 * xi * u * log_term).sqrt() / u;
+    p.min(1.0)
+}
+
+/// Expected sample size of the biased rule R of §2: cluster points are
+/// included with probability `p`, the remaining `n - |u|` points with
+/// probability `q`.
+pub fn biased_expected_sample_size(n: usize, cluster_size: usize, p: f64, q: f64) -> f64 {
+    assert!(cluster_size <= n);
+    p * cluster_size as f64 + q * (n - cluster_size) as f64
+}
+
+/// Theorem 1: biased sampling with in-cluster probability `p` requires a
+/// sample size no larger than uniform sampling (for the same `xi, delta`
+/// guarantee) **iff** `p >= |u| / n`.
+pub fn theorem1_biased_wins(n: usize, cluster_size: usize, p: f64) -> bool {
+    p >= cluster_size as f64 / n as f64
+}
+
+/// One row of the Theorem 1 illustration table: for a given configuration,
+/// the uniform sample size required, the biased in-cluster probability
+/// required, and the expected biased sample size with the out-of-cluster
+/// rate scaled down from `p` (illustrative; any `q < p` works).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Theorem1Row {
+    /// Dataset size.
+    pub n: usize,
+    /// Cluster size `|u|`.
+    pub cluster_size: usize,
+    /// Required cluster fraction `ξ`.
+    pub xi: f64,
+    /// Failure probability `δ`.
+    pub delta: f64,
+    /// Sample size required by uniform sampling.
+    pub uniform_size: f64,
+    /// Uniform size as a fraction of `n`.
+    pub uniform_fraction: f64,
+    /// Minimum in-cluster probability for the biased rule.
+    pub biased_p: f64,
+    /// Expected biased sample size with out-of-cluster rate `p/100`
+    /// (illustrative; any `q < p` beats uniform by Theorem 1).
+    pub biased_size: f64,
+}
+
+/// Computes one Theorem 1 illustration row.
+pub fn theorem1_row(n: usize, cluster_size: usize, xi: f64, delta: f64) -> Theorem1Row {
+    let uniform_size = uniform_sample_size(n, cluster_size, xi, delta);
+    let biased_p = biased_required_probability(cluster_size, xi, delta);
+    let biased_size = biased_expected_sample_size(n, cluster_size, biased_p, biased_p / 100.0);
+    Theorem1Row {
+        n,
+        cluster_size,
+        xi,
+        delta,
+        uniform_size,
+        uniform_fraction: uniform_size / n as f64,
+        biased_p,
+        biased_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_25_percent() {
+        // §2: "to guarantee with probability 90% that a fraction ξ = 0.2 of
+        // a cluster with 1000 points is in the sample, we need to sample
+        // 25% of the dataset." The bound gives ~23.3%, which the paper
+        // rounds up to 25%.
+        let n = 1_000_000;
+        let s = uniform_sample_size(n, 1000, 0.2, 0.1);
+        let frac = s / n as f64;
+        assert!((0.2..0.27).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn uniform_bound_grows_with_confidence() {
+        let lo = uniform_sample_size(100_000, 1000, 0.2, 0.1);
+        let hi = uniform_sample_size(100_000, 1000, 0.2, 0.01);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn uniform_bound_shrinks_with_cluster_size() {
+        let small = uniform_sample_size(100_000, 500, 0.2, 0.1);
+        let large = uniform_sample_size(100_000, 5000, 0.2, 0.1);
+        assert!(large < small);
+    }
+
+    #[test]
+    fn biased_probability_is_valid_and_monotone() {
+        let p1 = biased_required_probability(1000, 0.2, 0.1);
+        let p2 = biased_required_probability(1000, 0.5, 0.1);
+        assert!(p1 > 0.2 && p1 <= 1.0);
+        assert!(p2 > p1, "larger xi needs larger p");
+        // Very small clusters may need p = 1.
+        assert_eq!(biased_required_probability(2, 0.9, 0.01), 1.0);
+    }
+
+    #[test]
+    fn biased_beats_uniform_when_p_exceeds_relative_size() {
+        let n = 1_000_000;
+        let u = 1000;
+        let p = biased_required_probability(u, 0.2, 0.1);
+        assert!(theorem1_biased_wins(n, u, p));
+        // And the expected biased sample really is far smaller.
+        let row = theorem1_row(n, u, 0.2, 0.1);
+        assert!(
+            row.biased_size < row.uniform_size / 10.0,
+            "biased {} vs uniform {}",
+            row.biased_size,
+            row.uniform_size
+        );
+    }
+
+    #[test]
+    fn theorem1_threshold_edge() {
+        assert!(theorem1_biased_wins(1000, 100, 0.1));
+        assert!(!theorem1_biased_wins(1000, 100, 0.0999));
+    }
+
+    #[test]
+    fn expected_size_formula() {
+        let s = biased_expected_sample_size(1000, 100, 0.5, 0.1);
+        assert!((s - (50.0 + 90.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_rejects_bad_delta() {
+        uniform_sample_size(1000, 10, 0.2, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_rejects_cluster_larger_than_n() {
+        uniform_sample_size(100, 1000, 0.2, 0.1);
+    }
+
+    /// Empirical check of the bound's *direction*: sampling at the bound
+    /// rate does include ξ|u| cluster points in at least 1-δ of trials.
+    #[test]
+    fn uniform_bound_is_actually_sufficient_empirically() {
+        use dbs_core::rng::seeded;
+        use rand::Rng;
+        let n = 20_000;
+        let u = 500;
+        let xi = 0.2;
+        let delta = 0.1;
+        let s = uniform_sample_size(n, u, xi, delta).ceil() as usize;
+        let rate = s as f64 / n as f64;
+        let mut rng = seeded(42);
+        let trials = 300;
+        let mut ok = 0;
+        for _ in 0..trials {
+            // Only cluster membership matters; simulate Binomial(u, rate).
+            let hits = (0..u).filter(|_| rng.gen::<f64>() < rate).count();
+            if hits as f64 >= xi * u as f64 {
+                ok += 1;
+            }
+        }
+        let success = ok as f64 / trials as f64;
+        assert!(success >= 1.0 - delta, "success rate {success}");
+    }
+}

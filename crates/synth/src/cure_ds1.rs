@@ -1,0 +1,157 @@
+//! A lookalike of CURE's *dataset1* (Figure 3 of the paper).
+//!
+//! The original dataset (Guha et al. \[8\]) has "5 clusters with different
+//! shapes and densities": one large circle, two small circles, and two
+//! ellipses lying close together. The uniform-sample failure the paper
+//! demonstrates — the big cluster splits, the two neighboring ellipses
+//! merge — depends exactly on this geometry, so we reproduce it: points are
+//! uniform inside each shape, the big circle is much larger and sparser
+//! than the small circles, and the two ellipses are parallel and close.
+
+use dbs_core::rng::{seeded, sub_seed};
+use dbs_core::{BoundingBox, Dataset};
+use rand::Rng;
+
+use crate::SyntheticDataset;
+
+/// One generating shape of dataset1.
+#[derive(Debug, Clone)]
+enum Shape {
+    /// Center and radius.
+    Circle { cx: f64, cy: f64, r: f64 },
+    /// Center and semi-axes.
+    Ellipse { cx: f64, cy: f64, rx: f64, ry: f64 },
+}
+
+impl Shape {
+    fn bbox(&self) -> BoundingBox {
+        match *self {
+            Shape::Circle { cx, cy, r } => {
+                BoundingBox::new(vec![cx - r, cy - r], vec![cx + r, cy + r])
+            }
+            Shape::Ellipse { cx, cy, rx, ry } => {
+                BoundingBox::new(vec![cx - rx, cy - ry], vec![cx + rx, cy + ry])
+            }
+        }
+    }
+
+    fn sample(&self, rng: &mut impl Rng, out: &mut [f64]) {
+        // Uniform in the unit disk, then scaled to the shape.
+        let (u, v) = loop {
+            let u = rng.gen::<f64>() * 2.0 - 1.0;
+            let v = rng.gen::<f64>() * 2.0 - 1.0;
+            if u * u + v * v <= 1.0 {
+                break (u, v);
+            }
+        };
+        match *self {
+            Shape::Circle { cx, cy, r } => {
+                out[0] = cx + u * r;
+                out[1] = cy + v * r;
+            }
+            Shape::Ellipse { cx, cy, rx, ry } => {
+                out[0] = cx + u * rx;
+                out[1] = cy + v * ry;
+            }
+        }
+    }
+}
+
+/// Generates the dataset1 lookalike: `total_points` two-dimensional points
+/// across the five shapes (the big circle holds half the points but is
+/// sparse; the small circles are dense; the two ellipses are adjacent).
+pub fn dataset1(total_points: usize, seed: u64) -> SyntheticDataset {
+    assert!(total_points >= 5, "need at least one point per cluster");
+    let shapes = [
+        // Big sparse circle, left half of the domain.
+        Shape::Circle { cx: 0.32, cy: 0.42, r: 0.27 },
+        // Two small dense circles, upper right, close together (as in the
+        // original dataset1 plot).
+        Shape::Circle { cx: 0.72, cy: 0.82, r: 0.07 },
+        Shape::Circle { cx: 0.90, cy: 0.82, r: 0.07 },
+        // Two close parallel ellipses, lower right.
+        Shape::Ellipse { cx: 0.78, cy: 0.375, rx: 0.16, ry: 0.05 },
+        Shape::Ellipse { cx: 0.78, cy: 0.225, rx: 0.16, ry: 0.05 },
+    ];
+    // Share of points per shape: the big circle gets 50 %, the rest split
+    // the remainder (the small circles end up much denser).
+    let fractions = [0.5, 0.125, 0.125, 0.125, 0.125];
+    let mut sizes: Vec<usize> =
+        fractions.iter().map(|f| (f * total_points as f64).floor() as usize).collect();
+    let assigned: usize = sizes.iter().sum();
+    sizes[0] += total_points - assigned;
+
+    let mut data = Dataset::with_capacity(2, total_points);
+    let mut labels = Vec::with_capacity(total_points);
+    let mut point = [0.0f64; 2];
+    for (ci, (shape, &size)) in shapes.iter().zip(&sizes).enumerate() {
+        let mut rng = seeded(sub_seed(seed, ci as u64));
+        for _ in 0..size {
+            shape.sample(&mut rng, &mut point);
+            data.push(&point).expect("2-d");
+            labels.push(ci);
+        }
+    }
+    let regions = shapes.iter().map(|s| s.bbox()).collect();
+    SyntheticDataset { data, labels, regions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_clusters_with_expected_sizes() {
+        let ds = dataset1(10_000, 1);
+        assert_eq!(ds.num_clusters(), 5);
+        assert_eq!(ds.len(), 10_000);
+        let sizes = ds.cluster_sizes();
+        assert_eq!(sizes[0], 5000);
+        for &s in &sizes[1..] {
+            assert_eq!(s, 1250);
+        }
+    }
+
+    #[test]
+    fn points_inside_their_regions() {
+        let ds = dataset1(5000, 2);
+        for (i, p) in ds.data.iter().enumerate() {
+            assert!(ds.regions[ds.labels[i]].contains(p));
+        }
+    }
+
+    #[test]
+    fn big_cluster_is_sparser_than_small_circles() {
+        let ds = dataset1(20_000, 3);
+        let sizes = ds.cluster_sizes();
+        let density = |ci: usize| sizes[ci] as f64 / ds.regions[ci].volume();
+        assert!(density(1) > 2.0 * density(0), "small circles must be denser");
+    }
+
+    #[test]
+    fn ellipses_are_adjacent_but_disjoint() {
+        let ds = dataset1(1000, 4);
+        let a = &ds.regions[3];
+        let b = &ds.regions[4];
+        assert!(!a.intersects(b), "ellipses must not overlap");
+        // Vertical gap between the ellipse boxes is small relative to the
+        // big circle's radius — that is what trips uniform sampling.
+        let gap = b.min()[1].max(a.min()[1]) - a.max()[1].min(b.max()[1]);
+        assert!(gap.abs() < 0.08, "gap {gap}");
+    }
+
+    #[test]
+    fn everything_in_unit_square() {
+        let ds = dataset1(5000, 5);
+        let bb = ds.data.bounding_box().unwrap();
+        assert!(bb.min()[0] >= 0.0 && bb.min()[1] >= 0.0);
+        assert!(bb.max()[0] <= 1.0 && bb.max()[1] <= 1.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = dataset1(1000, 6);
+        let b = dataset1(1000, 6);
+        assert_eq!(a.data, b.data);
+    }
+}

@@ -1,0 +1,148 @@
+//! Gaussian mixture generator.
+//!
+//! Used directly by tests and as the building block of the terrain-style
+//! simulators in [`crate::geo`]. Points are drawn from per-cluster
+//! isotropic normals and clamped to the unit cube; the ground-truth region
+//! of a cluster is its `±3σ` box (clipped to the domain), which holds
+//! ~99.7 % of its mass per dimension.
+
+use dbs_core::rng::{normal, seeded, sub_seed};
+use dbs_core::{BoundingBox, Dataset, Error, Result};
+
+use crate::SyntheticDataset;
+
+/// One mixture component.
+#[derive(Debug, Clone)]
+pub struct GaussCluster {
+    /// Component mean (inside the unit cube).
+    pub center: Vec<f64>,
+    /// Isotropic standard deviation.
+    pub sigma: f64,
+    /// Number of points to draw.
+    pub size: usize,
+}
+
+/// Generates a Gaussian mixture in `[0,1]^d`.
+pub fn generate(clusters: &[GaussCluster], seed: u64) -> Result<SyntheticDataset> {
+    if clusters.is_empty() {
+        return Err(Error::InvalidParameter("need at least one component".into()));
+    }
+    let d = clusters[0].center.len();
+    if d == 0 {
+        return Err(Error::InvalidParameter("dimension must be >= 1".into()));
+    }
+    for (i, c) in clusters.iter().enumerate() {
+        if c.center.len() != d {
+            return Err(Error::DimensionMismatch { expected: d, got: c.center.len() });
+        }
+        if !(c.sigma > 0.0) {
+            return Err(Error::InvalidParameter(format!("component {i}: sigma must be > 0")));
+        }
+    }
+    let total: usize = clusters.iter().map(|c| c.size).sum();
+    let mut data = Dataset::with_capacity(d, total);
+    let mut labels = Vec::with_capacity(total);
+    let mut point = vec![0.0f64; d];
+    for (ci, cluster) in clusters.iter().enumerate() {
+        let mut rng = seeded(sub_seed(seed, ci as u64));
+        for _ in 0..cluster.size {
+            for j in 0..d {
+                point[j] = normal(&mut rng, cluster.center[j], cluster.sigma).clamp(0.0, 1.0);
+            }
+            data.push(&point).expect("dimension fixed");
+            labels.push(ci);
+        }
+    }
+    let regions = clusters
+        .iter()
+        .map(|c| {
+            let min = c.center.iter().map(|&x| (x - 3.0 * c.sigma).max(0.0)).collect();
+            let max = c.center.iter().map(|&x| (x + 3.0 * c.sigma).min(1.0)).collect();
+            BoundingBox::new(min, max)
+        })
+        .collect();
+    Ok(SyntheticDataset { data, labels, regions })
+}
+
+/// Convenience: `k` equal-sized components on a diagonal with shared sigma.
+pub fn diagonal_mixture(
+    dim: usize,
+    num_clusters: usize,
+    points_per_cluster: usize,
+    sigma: f64,
+    seed: u64,
+) -> Result<SyntheticDataset> {
+    let clusters: Vec<GaussCluster> = (0..num_clusters)
+        .map(|c| GaussCluster {
+            center: vec![(c as f64 + 0.5) / num_clusters as f64; dim],
+            sigma,
+            size: points_per_cluster,
+        })
+        .collect();
+    generate(&clusters, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_and_labels() {
+        let synth = diagonal_mixture(2, 3, 500, 0.02, 1).unwrap();
+        assert_eq!(synth.len(), 1500);
+        assert_eq!(synth.cluster_sizes(), vec![500, 500, 500]);
+    }
+
+    #[test]
+    fn most_points_inside_3sigma_region() {
+        let synth = diagonal_mixture(2, 2, 2000, 0.03, 2).unwrap();
+        for ci in 0..2 {
+            let inside = synth
+                .data
+                .iter()
+                .zip(&synth.labels)
+                .filter(|(p, &l)| l == ci && synth.regions[ci].contains(p))
+                .count();
+            let frac = inside as f64 / 2000.0;
+            assert!(frac > 0.98, "component {ci}: only {frac} inside 3σ box");
+        }
+    }
+
+    #[test]
+    fn points_clamped_to_unit_cube() {
+        // Component right at the corner: clamping must keep points legal.
+        let synth = generate(
+            &[GaussCluster { center: vec![0.01, 0.99], sigma: 0.05, size: 1000 }],
+            3,
+        )
+        .unwrap();
+        for p in synth.data.iter() {
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(generate(&[], 0).is_err());
+        assert!(generate(
+            &[GaussCluster { center: vec![0.5], sigma: 0.0, size: 10 }],
+            0
+        )
+        .is_err());
+        assert!(generate(
+            &[
+                GaussCluster { center: vec![0.5, 0.5], sigma: 0.1, size: 10 },
+                GaussCluster { center: vec![0.5], sigma: 0.1, size: 10 }
+            ],
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = diagonal_mixture(3, 2, 100, 0.05, 4).unwrap();
+        let b = diagonal_mixture(3, 2, 100, 0.05, 4).unwrap();
+        assert_eq!(a.data, b.data);
+    }
+}

@@ -1,0 +1,92 @@
+//! # dbs-synth
+//!
+//! Synthetic and simulated datasets for the paper's evaluation (§4.1).
+//!
+//! * [`rect`] — the paper's main generator: clusters as hyper-rectangles
+//!   with uniformly distributed interiors, controllable count, sizes and
+//!   densities (the "density varies by a factor of 10" regime of §4.3).
+//! * [`noise`] — uniform background noise injection (`fn` from 5 % to 80 %).
+//! * [`cure_ds1`] — a lookalike of CURE's *dataset1* used in Figure 3: one
+//!   large circle, two small circles, and two ellipses.
+//! * [`zipf`] — zipfian cluster sizes, the regime the Palmer–Faloutsos
+//!   comparison method was designed for.
+//! * [`gauss`] — Gaussian mixtures (used by the forest-cover simulator).
+//! * [`geo`] — simulators standing in for the real datasets the paper used
+//!   (NorthEast / California postal addresses, Forest Cover): metropolitan
+//!   or terrain density structure with heavy sparse background. See
+//!   DESIGN.md §3 for the substitution rationale.
+//! * [`outliers`] — planted-outlier datasets with an exactness guarantee
+//!   for outlier-detection experiments.
+//!
+//! Every generator takes an explicit seed and returns a
+//! [`SyntheticDataset`]: points, ground-truth labels, and the true cluster
+//! regions that the §4.3 "cluster found" criterion checks against.
+
+// Numeric-kernel loops in this crate index several parallel slices at once,
+// and NaN-rejecting guards are written as negated comparisons on purpose.
+#![allow(clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
+pub mod cure_ds1;
+pub mod gauss;
+pub mod geo;
+pub mod noise;
+pub mod outliers;
+pub mod rect;
+pub mod zipf;
+
+use dbs_core::{BoundingBox, Dataset};
+
+/// Label used for background-noise points.
+pub const NOISE_LABEL: usize = usize::MAX;
+
+/// A generated dataset with ground truth.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The points, in `[0,1]^d` unless a generator documents otherwise.
+    pub data: Dataset,
+    /// Ground-truth cluster id per point ([`NOISE_LABEL`] for noise).
+    pub labels: Vec<usize>,
+    /// The generating region of each cluster (indexed by label).
+    pub regions: Vec<BoundingBox>,
+}
+
+impl SyntheticDataset {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of true clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Number of noise points.
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|&&l| l == NOISE_LABEL).count()
+    }
+
+    /// Fraction of points that are noise.
+    pub fn noise_fraction(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.noise_count() as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Size of each true cluster (indexed by label).
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.regions.len()];
+        for &l in &self.labels {
+            if l != NOISE_LABEL {
+                sizes[l] += 1;
+            }
+        }
+        sizes
+    }
+}

@@ -1,0 +1,112 @@
+//! Uniform background-noise injection (§4.1).
+//!
+//! "Let D be a dataset of size |D| containing k synthetically generated
+//! clusters. We add l·|D| (0 ≤ l ≤ 1) uniformly distributed points in D as
+//! noise ... We vary fn from 5% to 80% in our experiments."
+//!
+//! We expose the noise level as `fn` = the fraction of the *final* dataset
+//! that is noise (the quantity the paper's figures vary on the x-axis);
+//! [`added_points_for_fraction`] converts it to the number of uniform
+//! points to add.
+
+use dbs_core::rng::seeded;
+use rand::Rng;
+
+use crate::{SyntheticDataset, NOISE_LABEL};
+
+/// Number of uniform points to add so noise makes up `fraction` of the
+/// final dataset: `l·n` with `l = fn / (1 - fn)`.
+pub fn added_points_for_fraction(clustered: usize, fraction: f64) -> usize {
+    assert!((0.0..1.0).contains(&fraction), "noise fraction must be in [0,1)");
+    let l = fraction / (1.0 - fraction);
+    (l * clustered as f64).round() as usize
+}
+
+/// Appends uniform noise over `[0,1]^d` so that noise points make up
+/// `fraction` of the returned dataset. Labels of noise points are
+/// [`NOISE_LABEL`]; regions are unchanged.
+pub fn with_noise_fraction(mut synth: SyntheticDataset, fraction: f64, seed: u64) -> SyntheticDataset {
+    let add = added_points_for_fraction(synth.len(), fraction);
+    let d = synth.data.dim();
+    let mut rng = seeded(seed);
+    let mut point = vec![0.0f64; d];
+    for _ in 0..add {
+        for x in point.iter_mut() {
+            *x = rng.gen::<f64>();
+        }
+        synth.data.push(&point).expect("dimension is fixed");
+        synth.labels.push(NOISE_LABEL);
+    }
+    synth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rect::{generate, RectConfig, SizeProfile};
+
+    fn base(seed: u64) -> SyntheticDataset {
+        let cfg = RectConfig { total_points: 2000, ..RectConfig::paper_standard(2, seed) };
+        generate(&cfg, &SizeProfile::Equal).unwrap()
+    }
+
+    #[test]
+    fn fraction_is_respected() {
+        for target in [0.05, 0.2, 0.5, 0.8] {
+            let noisy = with_noise_fraction(base(1), target, 2);
+            let actual = noisy.noise_fraction();
+            assert!(
+                (actual - target).abs() < 0.01,
+                "target {target}, actual {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_fraction_adds_nothing() {
+        let clean = with_noise_fraction(base(3), 0.0, 4);
+        assert_eq!(clean.noise_count(), 0);
+        assert_eq!(clean.len(), 2000);
+    }
+
+    #[test]
+    fn conversion_formula() {
+        // fn = 0.5 doubles the dataset: l = 1.
+        assert_eq!(added_points_for_fraction(1000, 0.5), 1000);
+        // fn = 0.8: l = 4.
+        assert_eq!(added_points_for_fraction(1000, 0.8), 4000);
+        assert_eq!(added_points_for_fraction(1000, 0.0), 0);
+    }
+
+    #[test]
+    fn noise_points_span_the_domain() {
+        let noisy = with_noise_fraction(base(5), 0.5, 6);
+        let noise_pts: Vec<&[f64]> = noisy
+            .data
+            .iter()
+            .zip(&noisy.labels)
+            .filter(|(_, &l)| l == NOISE_LABEL)
+            .map(|(p, _)| p)
+            .collect();
+        assert!(!noise_pts.is_empty());
+        // Noise must not be confined to cluster regions: a decent share
+        // falls outside every region.
+        let outside = noise_pts
+            .iter()
+            .filter(|p| noisy.regions.iter().all(|r| !r.contains(p)))
+            .count();
+        assert!(outside as f64 / noise_pts.len() as f64 > 0.5);
+    }
+
+    #[test]
+    fn labels_and_points_stay_aligned() {
+        let noisy = with_noise_fraction(base(7), 0.3, 8);
+        assert_eq!(noisy.data.len(), noisy.labels.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_fraction_one() {
+        added_points_for_fraction(10, 1.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Planted-outlier datasets for the §4.5 experiments.
+//!
+//! Generates clustered background data plus isolated points that are
+//! *guaranteed* DB(p,k) outliers: each planted point is at distance
+//! greater than `k` from every other point in the dataset, so it has zero
+//! neighbors regardless of `p`. This gives the outlier-detection
+//! experiments exact ground truth.
+
+use dbs_core::metric::euclidean;
+use dbs_core::rng::{seeded, sub_seed};
+use dbs_core::{Error, Result};
+use rand::Rng;
+
+use crate::rect::{generate, RectConfig, SizeProfile};
+use crate::{SyntheticDataset, NOISE_LABEL};
+
+/// A dataset with known outliers.
+#[derive(Debug, Clone)]
+pub struct OutlierDataset {
+    /// The points (clusters first, planted outliers last).
+    pub synth: SyntheticDataset,
+    /// Indices of the planted outliers.
+    pub outlier_indices: Vec<usize>,
+    /// The isolation radius: every planted outlier is farther than this
+    /// from every other point.
+    pub isolation: f64,
+}
+
+/// Generates `num_outliers` isolated points on top of a clustered
+/// background.
+///
+/// `isolation` is the minimum distance from each planted outlier to every
+/// other point (pick it larger than the DB radius `k` you will test with).
+pub fn planted_outliers(
+    background: &RectConfig,
+    num_outliers: usize,
+    isolation: f64,
+    seed: u64,
+) -> Result<OutlierDataset> {
+    if !(isolation > 0.0) || isolation >= 0.5 {
+        return Err(Error::InvalidParameter("isolation must be in (0, 0.5)".into()));
+    }
+    let mut synth = generate(background, &SizeProfile::Equal)?;
+    let d = synth.data.dim();
+
+    // Rejection-sample isolated locations: far from all cluster regions
+    // (inflated by the isolation radius) and far from previously planted
+    // outliers. Cluster-region distance is enough to clear all background
+    // points.
+    let mut rng = seeded(sub_seed(seed, 77));
+    let mut planted: Vec<Vec<f64>> = Vec::with_capacity(num_outliers);
+    let mut attempts = 0usize;
+    while planted.len() < num_outliers {
+        attempts += 1;
+        if attempts > 200_000 {
+            return Err(Error::InvalidParameter(format!(
+                "could not isolate {num_outliers} outliers at radius {isolation}; lower one of them"
+            )));
+        }
+        let candidate: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+        let clear_of_regions = synth
+            .regions
+            .iter()
+            .all(|r| r.dist_sq_to_point(&candidate) > isolation * isolation);
+        let clear_of_outliers =
+            planted.iter().all(|o| euclidean(o, &candidate) > 2.0 * isolation);
+        if clear_of_regions && clear_of_outliers {
+            planted.push(candidate);
+        }
+    }
+
+    let start = synth.data.len();
+    for o in &planted {
+        synth.data.push(o).expect("dimension fixed");
+        synth.labels.push(NOISE_LABEL);
+    }
+    Ok(OutlierDataset {
+        synth,
+        outlier_indices: (start..start + num_outliers).collect(),
+        isolation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn background(seed: u64) -> RectConfig {
+        RectConfig { total_points: 5000, ..RectConfig::paper_standard(2, seed) }
+    }
+
+    #[test]
+    fn outliers_are_isolated() {
+        let ds = planted_outliers(&background(1), 5, 0.05, 2).unwrap();
+        for &oi in &ds.outlier_indices {
+            let o = ds.synth.data.point(oi);
+            for (j, p) in ds.synth.data.iter().enumerate() {
+                if j == oi {
+                    continue;
+                }
+                assert!(
+                    euclidean(o, p) > ds.isolation,
+                    "outlier {oi} has a neighbor at index {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indices_point_at_the_tail() {
+        let ds = planted_outliers(&background(3), 4, 0.05, 4).unwrap();
+        assert_eq!(ds.outlier_indices, vec![5000, 5001, 5002, 5003]);
+        assert_eq!(ds.synth.len(), 5004);
+    }
+
+    #[test]
+    fn rejects_bad_isolation() {
+        assert!(planted_outliers(&background(5), 3, 0.0, 6).is_err());
+        assert!(planted_outliers(&background(5), 3, 0.6, 6).is_err());
+    }
+
+    #[test]
+    fn impossible_isolation_errors() {
+        // Radius so large nothing fits between the clusters.
+        assert!(planted_outliers(&background(7), 50, 0.3, 8).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = planted_outliers(&background(9), 3, 0.05, 10).unwrap();
+        let b = planted_outliers(&background(9), 3, 0.05, 10).unwrap();
+        assert_eq!(a.synth.data, b.synth.data);
+        assert_eq!(a.outlier_indices, b.outlier_indices);
+    }
+}

@@ -1,0 +1,335 @@
+//! Hyper-rectangular uniform clusters — the paper's main generator (§4.1).
+//!
+//! "Each cluster is defined as a hyper-rectangle, and the points in the
+//! interior of the cluster are uniformly distributed. The clusters can have
+//! non-spherical shapes, different sizes (number of points in each cluster)
+//! and different average densities."
+
+use dbs_core::rng::{seeded, sub_seed};
+use dbs_core::{BoundingBox, Dataset, Error, Result};
+use rand::Rng;
+
+use crate::{SyntheticDataset, NOISE_LABEL};
+
+/// How the generator distributes points across clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizeProfile {
+    /// All clusters get the same number of points.
+    Equal,
+    /// Cluster *densities* (points per unit volume) span a factor of
+    /// `ratio` from the sparsest to the densest cluster, interpolated
+    /// geometrically across clusters — the §4.3 "density of the clusters
+    /// varies by a factor of 10" regime (`ratio = 10`).
+    VariableDensity { ratio: f64 },
+    /// Explicit per-cluster point counts (must sum to `total_points`).
+    Explicit(Vec<usize>),
+}
+
+/// Configuration of the rectangle generator.
+#[derive(Debug, Clone)]
+pub struct RectConfig {
+    /// Dimensionality (the paper uses 2 to 5).
+    pub dim: usize,
+    /// Number of clusters (the paper varies 10 to 100).
+    pub num_clusters: usize,
+    /// Total clustered points (noise is added separately; see
+    /// [`crate::noise`]).
+    pub total_points: usize,
+    /// Cluster *volumes* are drawn uniformly from this range (fractions of
+    /// the domain volume). Working in volumes rather than side lengths
+    /// keeps the cluster-to-background density contrast comparable across
+    /// dimensionalities, which the a < 0 sampling regime depends on.
+    pub volume_range: (f64, f64),
+    /// Seed controlling placement, shapes and point draws.
+    pub seed: u64,
+}
+
+impl RectConfig {
+    /// The paper's standard workload: `dim`-dimensional, 10 clusters,
+    /// 100 000 points.
+    pub fn paper_standard(dim: usize, seed: u64) -> Self {
+        RectConfig {
+            dim,
+            num_clusters: 10,
+            total_points: 100_000,
+            volume_range: (0.008, 0.025),
+            seed,
+        }
+    }
+}
+
+/// Generates non-overlapping hyper-rectangular clusters with uniform
+/// interiors.
+pub fn generate(config: &RectConfig, profile: &SizeProfile) -> Result<SyntheticDataset> {
+    if config.dim == 0 {
+        return Err(Error::InvalidParameter("dim must be >= 1".into()));
+    }
+    if config.num_clusters == 0 || config.total_points == 0 {
+        return Err(Error::InvalidParameter("need at least one cluster and one point".into()));
+    }
+    let (lo, hi) = config.volume_range;
+    if !(lo > 0.0 && hi >= lo && hi <= 1.0) {
+        return Err(Error::InvalidParameter(format!("bad volume_range ({lo}, {hi})")));
+    }
+    let k = config.num_clusters;
+    let d = config.dim;
+    let mut rng = seeded(config.seed);
+
+    // Place non-overlapping boxes by rejection; shrink the volume range if
+    // placement keeps failing so generation always terminates.
+    let mut regions: Vec<BoundingBox> = Vec::with_capacity(k);
+    let mut shrink = 1.0f64;
+    let mut attempts = 0usize;
+    while regions.len() < k {
+        attempts += 1;
+        if attempts.is_multiple_of(2000) {
+            shrink *= 0.7; // too crowded: try smaller boxes
+        }
+        if shrink < 0.02 {
+            return Err(Error::InvalidParameter(format!(
+                "could not place {k} non-overlapping clusters in {d}-d; reduce count or volumes"
+            )));
+        }
+        // Target volume, realized as jittered sides whose product is the
+        // volume (non-cubic shapes, as the paper's generator allows).
+        let volume = (lo + rng.gen::<f64>() * (hi - lo)) * shrink;
+        let base_side = volume.powf(1.0 / d as f64);
+        let mut sides = vec![0.0f64; d];
+        let mut log_sum = 0.0;
+        for s in sides.iter_mut() {
+            let jitter = 0.6 + rng.gen::<f64>() * 0.9; // aspect 0.6..1.5
+            *s = jitter;
+            log_sum += jitter.ln();
+        }
+        // Renormalize so the product of sides equals the target volume.
+        let correction = (-log_sum / d as f64).exp();
+        let mut ok = true;
+        let mut bmin = vec![0.0; d];
+        let mut bmax = vec![0.0; d];
+        for j in 0..d {
+            let side = (sides[j] * correction * base_side).min(0.9);
+            if side >= 1.0 {
+                ok = false;
+                break;
+            }
+            let start = rng.gen::<f64>() * (1.0 - side);
+            bmin[j] = start;
+            bmax[j] = start + side;
+        }
+        if !ok {
+            continue;
+        }
+        let candidate = BoundingBox::new(bmin, bmax);
+        // Keep a gap between clusters so they stay separable: two boxes
+        // may be disjoint in only one dimension, and that one gap is all
+        // that separates their samples. The required gap scales with the
+        // box side — in high dimensions boxes are wide and sampled
+        // nearest-neighbor distances large, so an absolute gap would be
+        // negligible there.
+        let padded = candidate.inflate((0.25 * base_side).max(0.03));
+        if regions.iter().all(|r| !r.intersects(&padded)) {
+            regions.push(candidate);
+        }
+    }
+
+    // Distribute points.
+    let sizes: Vec<usize> = match profile {
+        SizeProfile::Equal => {
+            let base = config.total_points / k;
+            let mut sizes = vec![base; k];
+            for s in sizes.iter_mut().take(config.total_points - base * k) {
+                *s += 1;
+            }
+            sizes
+        }
+        SizeProfile::VariableDensity { ratio } => {
+            if !(*ratio >= 1.0) {
+                return Err(Error::InvalidParameter("density ratio must be >= 1".into()));
+            }
+            // Cluster i gets density proportional to ratio^(i/(k-1)); its
+            // point count is density * volume, normalized to total_points.
+            let weights: Vec<f64> = (0..k)
+                .map(|i| {
+                    let t = if k > 1 { i as f64 / (k - 1) as f64 } else { 0.0 };
+                    ratio.powf(t) * regions[i].volume()
+                })
+                .collect();
+            let total_w: f64 = weights.iter().sum();
+            let mut sizes: Vec<usize> = weights
+                .iter()
+                .map(|w| ((w / total_w) * config.total_points as f64).floor() as usize)
+                .collect();
+            // Fix rounding: give leftovers to the densest cluster, and make
+            // sure nobody is empty.
+            let assigned: usize = sizes.iter().sum();
+            sizes[k - 1] += config.total_points - assigned;
+            for s in sizes.iter_mut() {
+                if *s == 0 {
+                    *s = 1;
+                }
+            }
+            sizes
+        }
+        SizeProfile::Explicit(sizes) => {
+            if sizes.len() != k {
+                return Err(Error::InvalidParameter(format!(
+                    "{} explicit sizes for {} clusters",
+                    sizes.len(),
+                    k
+                )));
+            }
+            if sizes.iter().sum::<usize>() != config.total_points {
+                return Err(Error::InvalidParameter(
+                    "explicit sizes must sum to total_points".into(),
+                ));
+            }
+            sizes.clone()
+        }
+    };
+
+    // Draw the points.
+    let n: usize = sizes.iter().sum();
+    let mut data = Dataset::with_capacity(d, n);
+    let mut labels = Vec::with_capacity(n);
+    let mut point = vec![0.0f64; d];
+    for (ci, (region, &size)) in regions.iter().zip(&sizes).enumerate() {
+        let mut crng = seeded(sub_seed(config.seed, ci as u64 + 1));
+        for _ in 0..size {
+            for j in 0..d {
+                point[j] = region.min()[j] + crng.gen::<f64>() * region.extent(j);
+            }
+            data.push(&point).expect("dimension is fixed");
+            labels.push(ci);
+        }
+    }
+    Ok(SyntheticDataset { data, labels, regions })
+}
+
+/// The smallest / largest per-cluster densities (points per unit volume) of
+/// a generated dataset — used by tests and by EXPERIMENTS.md reporting.
+pub fn density_spread(synth: &SyntheticDataset) -> (f64, f64) {
+    let sizes = synth.cluster_sizes();
+    let mut min_d = f64::INFINITY;
+    let mut max_d = 0.0f64;
+    for (ci, region) in synth.regions.iter().enumerate() {
+        let density = sizes[ci] as f64 / region.volume().max(f64::MIN_POSITIVE);
+        min_d = min_d.min(density);
+        max_d = max_d.max(density);
+    }
+    (min_d, max_d)
+}
+
+/// Convenience: true if `label` marks a noise point.
+pub fn is_noise(label: usize) -> bool {
+    label == NOISE_LABEL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_lie_in_their_regions() {
+        let cfg = RectConfig::paper_standard(2, 1);
+        let synth = generate(&cfg, &SizeProfile::Equal).unwrap();
+        assert_eq!(synth.len(), 100_000);
+        assert_eq!(synth.num_clusters(), 10);
+        for (i, p) in synth.data.iter().enumerate() {
+            let l = synth.labels[i];
+            assert!(synth.regions[l].contains(p), "point {i} outside its region");
+        }
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let cfg = RectConfig::paper_standard(3, 2);
+        let synth = generate(&cfg, &SizeProfile::Equal).unwrap();
+        for i in 0..synth.regions.len() {
+            for j in (i + 1)..synth.regions.len() {
+                assert!(
+                    !synth.regions[i].intersects(&synth.regions[j]),
+                    "regions {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_profile_sizes_are_equal() {
+        let mut cfg = RectConfig::paper_standard(2, 3);
+        cfg.total_points = 1000;
+        let synth = generate(&cfg, &SizeProfile::Equal).unwrap();
+        let sizes = synth.cluster_sizes();
+        assert!(sizes.iter().all(|&s| s == 100));
+    }
+
+    #[test]
+    fn variable_density_spans_requested_ratio() {
+        let cfg = RectConfig::paper_standard(2, 4);
+        let synth = generate(&cfg, &SizeProfile::VariableDensity { ratio: 10.0 }).unwrap();
+        let (min_d, max_d) = density_spread(&synth);
+        let spread = max_d / min_d;
+        assert!((5.0..25.0).contains(&spread), "density spread {spread}");
+    }
+
+    #[test]
+    fn explicit_sizes_respected() {
+        let mut cfg = RectConfig::paper_standard(2, 5);
+        cfg.num_clusters = 3;
+        cfg.total_points = 60;
+        let synth =
+            generate(&cfg, &SizeProfile::Explicit(vec![10, 20, 30])).unwrap();
+        assert_eq!(synth.cluster_sizes(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn explicit_sizes_validated() {
+        let mut cfg = RectConfig::paper_standard(2, 6);
+        cfg.num_clusters = 2;
+        cfg.total_points = 10;
+        assert!(generate(&cfg, &SizeProfile::Explicit(vec![5])).is_err());
+        assert!(generate(&cfg, &SizeProfile::Explicit(vec![5, 6])).is_err());
+    }
+
+    #[test]
+    fn five_dimensional_generation_works() {
+        let mut cfg = RectConfig::paper_standard(5, 7);
+        cfg.total_points = 5000;
+        let synth = generate(&cfg, &SizeProfile::Equal).unwrap();
+        assert_eq!(synth.data.dim(), 5);
+        assert_eq!(synth.len(), 5000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RectConfig { total_points: 500, ..RectConfig::paper_standard(2, 8) };
+        let a = generate(&cfg, &SizeProfile::Equal).unwrap();
+        let b = generate(&cfg, &SizeProfile::Equal).unwrap();
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let mut cfg = RectConfig::paper_standard(2, 9);
+        cfg.num_clusters = 0;
+        assert!(generate(&cfg, &SizeProfile::Equal).is_err());
+        cfg = RectConfig::paper_standard(0, 9);
+        assert!(generate(&cfg, &SizeProfile::Equal).is_err());
+        cfg = RectConfig::paper_standard(2, 9);
+        cfg.volume_range = (0.0, 0.5);
+        assert!(generate(&cfg, &SizeProfile::Equal).is_err());
+    }
+
+    #[test]
+    fn impossible_placement_errors_out() {
+        let cfg = RectConfig {
+            dim: 1,
+            num_clusters: 40,
+            total_points: 100,
+            volume_range: (0.3, 0.4),
+            seed: 10,
+        };
+        assert!(generate(&cfg, &SizeProfile::Equal).is_err());
+    }
+}

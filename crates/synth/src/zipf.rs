@@ -1,0 +1,106 @@
+//! Zipfian cluster sizes.
+//!
+//! Palmer & Faloutsos \[22\] designed their grid-based biased sampling "to
+//! sample for clusters by using density information, under the assumption
+//! that clusters have a zipfian distribution. Their technique is designed
+//! to find clusters when they differ a lot in size and density." This
+//! generator produces that regime so the Figure 5(c) comparison runs on the
+//! workload the competing method was built for.
+
+use dbs_core::{Error, Result};
+
+use crate::rect::{generate, RectConfig, SizeProfile};
+use crate::SyntheticDataset;
+
+/// Cluster sizes proportional to `1 / rank^exponent`, summing to `total`.
+///
+/// Every cluster gets at least one point. `exponent = 0` degenerates to
+/// equal sizes; `exponent = 1` is the classic zipf.
+pub fn zipf_sizes(num_clusters: usize, total: usize, exponent: f64) -> Result<Vec<usize>> {
+    if num_clusters == 0 {
+        return Err(Error::InvalidParameter("need at least one cluster".into()));
+    }
+    if total < num_clusters {
+        return Err(Error::InvalidParameter("need at least one point per cluster".into()));
+    }
+    if !(exponent >= 0.0) {
+        return Err(Error::InvalidParameter("exponent must be >= 0".into()));
+    }
+    let weights: Vec<f64> =
+        (1..=num_clusters).map(|r| 1.0 / (r as f64).powf(exponent)).collect();
+    let total_w: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / total_w) * total as f64).floor().max(1.0) as usize)
+        .collect();
+    // Fix rounding drift on the largest cluster.
+    let assigned: usize = sizes.iter().sum();
+    if assigned <= total {
+        sizes[0] += total - assigned;
+    } else {
+        let mut excess = assigned - total;
+        for s in sizes.iter_mut() {
+            let take = (*s - 1).min(excess);
+            *s -= take;
+            excess -= take;
+            if excess == 0 {
+                break;
+            }
+        }
+    }
+    Ok(sizes)
+}
+
+/// Generates hyper-rectangular clusters whose sizes follow a zipf law.
+pub fn generate_zipf(
+    config: &RectConfig,
+    exponent: f64,
+) -> Result<SyntheticDataset> {
+    let sizes = zipf_sizes(config.num_clusters, config.total_points, exponent)?;
+    generate(config, &SizeProfile::Explicit(sizes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_sum_and_are_monotone() {
+        let sizes = zipf_sizes(10, 100_000, 1.0).unwrap();
+        assert_eq!(sizes.iter().sum::<usize>(), 100_000);
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "{sizes:?}");
+        // Classic zipf: first cluster ~ 1/H_10 of the mass ≈ 34%.
+        assert!((30_000..40_000).contains(&sizes[0]), "{}", sizes[0]);
+    }
+
+    #[test]
+    fn zero_exponent_is_equal() {
+        let sizes = zipf_sizes(4, 100, 0.0).unwrap();
+        assert_eq!(sizes, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn every_cluster_nonempty_even_for_steep_laws() {
+        let sizes = zipf_sizes(20, 100, 3.0).unwrap();
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert!(sizes.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn generator_integration() {
+        let cfg = RectConfig { total_points: 10_000, ..RectConfig::paper_standard(2, 1) };
+        let synth = generate_zipf(&cfg, 1.0).unwrap();
+        assert_eq!(synth.len(), 10_000);
+        let sizes = synth.cluster_sizes();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max > 5 * min, "zipf sizes should differ a lot: {sizes:?}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(zipf_sizes(0, 10, 1.0).is_err());
+        assert!(zipf_sizes(10, 5, 1.0).is_err());
+        assert!(zipf_sizes(3, 10, -1.0).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end CLI runs against generated dataset files: the exact flows a
+//! user of the `dbs` tool exercises, through the library entry points.
+
+use dbs_cli::args::parse;
+use dbs_cli::commands::run;
+use dbs_core::io::{write_binary, write_text};
+use dbs_integration_tests::clustered_noisy;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dbs_cli_it_{}_{}", std::process::id(), name));
+    p
+}
+
+fn run_cli(argv: &[&str]) -> Result<String, String> {
+    let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+    let parsed = parse(&args).map_err(|e| e)?;
+    let mut out = Vec::new();
+    run(&parsed, &mut out)?;
+    Ok(String::from_utf8(out).expect("utf8 output"))
+}
+
+#[test]
+fn cluster_flow_over_text_file_finds_structure() {
+    let synth = clustered_noisy(15_000, 2, 0.3, 1);
+    let path = tmp("flow.txt");
+    write_text(&path, &synth.data).unwrap();
+    let out = run_cli(&[
+        "cluster",
+        path.to_str().unwrap(),
+        "--clusters",
+        "10",
+        "--size",
+        "600",
+        "--kernels",
+        "500",
+        "--seed",
+        "2",
+    ])
+    .unwrap();
+    assert!(out.contains("into 10 clusters"), "{out}");
+    // Horvitz–Thompson size estimates are reported.
+    assert!(out.contains("dataset points"), "{out}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn binary_and_text_inputs_agree() {
+    let synth = clustered_noisy(5_000, 3, 0.1, 3);
+    let text_path = tmp("agree.txt");
+    let bin_path = tmp("agree.dbs1");
+    write_text(&text_path, &synth.data).unwrap();
+    write_binary(&bin_path, &synth.data).unwrap();
+    let a = run_cli(&["info", text_path.to_str().unwrap()]).unwrap();
+    let b = run_cli(&["info", bin_path.to_str().unwrap()]).unwrap();
+    // Same point count and dimensionality from either format. (Bounding
+    // boxes may differ in the last float digit through text round-trip.)
+    assert_eq!(a.lines().next(), b.lines().next());
+    assert_eq!(a.lines().nth(1), b.lines().nth(1));
+    std::fs::remove_file(&text_path).ok();
+    std::fs::remove_file(&bin_path).ok();
+}
+
+#[test]
+fn sample_flow_writes_weights_that_sum_to_n() {
+    let synth = clustered_noisy(8_000, 2, 0.2, 5);
+    let path = tmp("weights.txt");
+    let out_path = tmp("weights_out.txt");
+    let w_path = tmp("weights_w.txt");
+    write_text(&path, &synth.data).unwrap();
+    run_cli(&[
+        "sample",
+        path.to_str().unwrap(),
+        "--size",
+        "400",
+        "--exponent",
+        "1.0",
+        "--output",
+        out_path.to_str().unwrap(),
+        "--weights",
+        w_path.to_str().unwrap(),
+    ])
+    .unwrap();
+    let weights: Vec<f64> = std::fs::read_to_string(&w_path)
+        .unwrap()
+        .lines()
+        .map(|l| l.parse().unwrap())
+        .collect();
+    assert!(!weights.is_empty());
+    // Horvitz–Thompson: the weights estimate the dataset size (clustered
+    // points plus injected noise).
+    let n = synth.len() as f64;
+    let total: f64 = weights.iter().sum();
+    assert!(
+        (total - n).abs() < 0.3 * n,
+        "weight sum {total} should estimate n = {n}"
+    );
+    for p in [path, out_path, w_path] {
+        std::fs::remove_file(&p).ok();
+    }
+}
+
+#[test]
+fn sample_exponent_changes_the_sample() {
+    let synth = clustered_noisy(8_000, 2, 0.5, 7);
+    let path = tmp("exp.txt");
+    write_text(&path, &synth.data).unwrap();
+    let dense = run_cli(&[
+        "sample", path.to_str().unwrap(), "--size", "200", "--exponent", "1.0",
+    ])
+    .unwrap();
+    let uniform = run_cli(&[
+        "sample", path.to_str().unwrap(), "--size", "200", "--exponent", "0.0",
+    ])
+    .unwrap();
+    // The normalizer k differs radically between exponents (n vs Σf).
+    assert_ne!(dense, uniform);
+    assert!(uniform.contains("a = 0"), "{uniform}");
+    std::fs::remove_file(&path).ok();
+}

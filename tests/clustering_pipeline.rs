@@ -1,0 +1,140 @@
+//! End-to-end checks of the sample → cluster → evaluate chain.
+
+use dbs_cluster::{
+    clusters_found, clusters_found_by_centers, hierarchical_cluster, kmeans, Birch, BirchConfig,
+    EvalConfig, HierarchicalConfig, KMeansConfig,
+};
+use dbs_core::BoundingBox;
+use dbs_density::{KdeConfig, KernelDensityEstimator};
+use dbs_integration_tests::{clustered, clustered_noisy};
+use dbs_sampling::{density_biased_sample, BiasedConfig};
+
+#[test]
+fn full_biased_pipeline_finds_all_clusters_on_clean_data() {
+    let synth = clustered(30_000, 2, 1);
+    let kde_cfg = KdeConfig {
+        num_centers: 500,
+        domain: Some(BoundingBox::unit(2)),
+        seed: 2,
+        ..Default::default()
+    };
+    let est = KernelDensityEstimator::fit_dataset(&synth.data, &kde_cfg).unwrap();
+    let (sample, _) =
+        density_biased_sample(&synth.data, &est, &BiasedConfig::new(800, 1.0).with_seed(3))
+            .unwrap();
+    let clustering =
+        hierarchical_cluster(sample.points(), &HierarchicalConfig::paper_defaults(10)).unwrap();
+    let found = clusters_found(&clustering.clusters, &synth.regions, &EvalConfig::default());
+    assert_eq!(found, 10, "all clusters must be found on clean data");
+}
+
+#[test]
+fn pipeline_handles_3d_and_5d() {
+    for dim in [3usize, 5] {
+        let synth = clustered(20_000, dim, 4 + dim as u64);
+        let kde_cfg = KdeConfig {
+            num_centers: 500,
+            domain: Some(BoundingBox::unit(dim)),
+            seed: 5,
+            ..Default::default()
+        };
+        let est = KernelDensityEstimator::fit_dataset(&synth.data, &kde_cfg).unwrap();
+        let (sample, _) =
+            density_biased_sample(&synth.data, &est, &BiasedConfig::new(800, 1.0).with_seed(6))
+                .unwrap();
+        let clustering =
+            hierarchical_cluster(sample.points(), &HierarchicalConfig::paper_defaults(10))
+                .unwrap();
+        let found = clusters_found(&clustering.clusters, &synth.regions, &EvalConfig::default());
+        assert!(found >= 8, "{dim}-d pipeline found only {found}");
+    }
+}
+
+#[test]
+fn birch_memory_budget_equals_sample_size_comparison() {
+    // The paper's comparison convention: BIRCH sees the whole dataset but
+    // its CF-tree is capped at the sample size.
+    let synth = clustered(30_000, 2, 7);
+    let budget = 600;
+    let cfg = BirchConfig::paper_defaults(10, budget, 2);
+    let res = Birch::run_dataset(&synth.data, &cfg).unwrap();
+    assert!(res.leaf_entries <= budget);
+    let centers: Vec<Vec<f64>> = res.clusters.iter().map(|c| c.center.clone()).collect();
+    let found = clusters_found_by_centers(&centers, &synth.regions, &EvalConfig::default());
+    assert!(found >= 8, "BIRCH found only {found} on clean data");
+}
+
+#[test]
+fn weighted_kmeans_debiases_a_biased_sample() {
+    // Two clusters, one 9x the other. A heavily biased sample plus 1/p
+    // weights must put the 2-means centers where unweighted k-means on the
+    // raw sample would misplace them. We check the weighted centers land
+    // near both true cluster centers.
+    use dbs_synth::rect::{generate, RectConfig, SizeProfile};
+    let cfg = RectConfig {
+        total_points: 20_000,
+        num_clusters: 2,
+        volume_range: (0.01, 0.02),
+        ..RectConfig::paper_standard(2, 8)
+    };
+    let synth = generate(&cfg, &SizeProfile::Explicit(vec![18_000, 2_000])).unwrap();
+    let kde_cfg = KdeConfig {
+        num_centers: 500,
+        domain: Some(BoundingBox::unit(2)),
+        seed: 9,
+        ..Default::default()
+    };
+    let est = KernelDensityEstimator::fit_dataset(&synth.data, &kde_cfg).unwrap();
+    // a = -1 equalizes region representation: the sample holds comparable
+    // counts from both clusters even though the data is 9:1.
+    let (sample, _) =
+        density_biased_sample(&synth.data, &est, &BiasedConfig::new(1000, -1.0).with_seed(10))
+            .unwrap();
+    let result = kmeans(
+        sample.points(),
+        sample.weights(),
+        &KMeansConfig::new(2).with_seed(11),
+    )
+    .unwrap();
+    for region in &synth.regions {
+        let c = region.center();
+        let nearest = result
+            .centers
+            .iter()
+            .map(|x| dbs_core::metric::euclidean(x, &c))
+            .fold(f64::INFINITY, f64::min);
+        assert!(nearest < 0.08, "no center near {c:?} (best {nearest})");
+    }
+}
+
+#[test]
+fn noise_assignments_are_consistent_with_eval() {
+    let synth = clustered_noisy(20_000, 2, 0.4, 12);
+    let kde_cfg = KdeConfig {
+        num_centers: 500,
+        domain: Some(BoundingBox::unit(2)),
+        seed: 13,
+        ..Default::default()
+    };
+    let est = KernelDensityEstimator::fit_dataset(&synth.data, &kde_cfg).unwrap();
+    let (sample, _) =
+        density_biased_sample(&synth.data, &est, &BiasedConfig::new(600, 1.0).with_seed(14))
+            .unwrap();
+    let clustering =
+        hierarchical_cluster(sample.points(), &HierarchicalConfig::paper_defaults(10)).unwrap();
+    // Assignment table is total: every sample point is either in a reported
+    // cluster or marked noise, never both.
+    let mut seen = vec![false; sample.len()];
+    for (ci, c) in clustering.clusters.iter().enumerate() {
+        for &m in &c.members {
+            assert!(!seen[m], "point {m} in two clusters");
+            seen[m] = true;
+            assert_eq!(clustering.assignments[m], ci);
+        }
+    }
+    for (i, &s) in seen.iter().enumerate() {
+        if !s {
+            assert_eq!(clustering.assignments[i], dbs_cluster::NOISE);
+        }
+    }
+}

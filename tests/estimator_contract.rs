@@ -1,0 +1,164 @@
+//! Contract tests every [`DensityEstimator`] backend must satisfy — the
+//! §2.1 requirement that `∫_R f ≈ |D ∩ R|`, plus non-negativity and
+//! frequency scaling. Run against all three backends on the same data.
+
+use dbs_core::{BoundingBox, Dataset};
+use dbs_density::{
+    DensityEstimator, GridEstimator, HashGridEstimator, KdeConfig, KernelDensityEstimator,
+    WaveletEstimator,
+};
+use dbs_integration_tests::{clustered, uniform_cube};
+
+fn backends(data: &Dataset, dim: usize) -> Vec<(String, Box<dyn DensityEstimator>)> {
+    let kde_cfg = KdeConfig {
+        num_centers: 500,
+        domain: Some(BoundingBox::unit(dim)),
+        seed: 7,
+        ..Default::default()
+    };
+    vec![
+        (
+            "kde".into(),
+            Box::new(KernelDensityEstimator::fit_dataset(data, &kde_cfg).unwrap())
+                as Box<dyn DensityEstimator>,
+        ),
+        (
+            "grid".into(),
+            Box::new(GridEstimator::fit(data, BoundingBox::unit(dim), 16).unwrap()),
+        ),
+        (
+            "hashgrid".into(),
+            // Generous table: few collisions, so the contract holds.
+            Box::new(
+                HashGridEstimator::fit(data, BoundingBox::unit(dim), 16, 1 << 16).unwrap(),
+            ),
+        ),
+        (
+            "wavelet".into(),
+            // Half the coefficients kept: lossy but structure-preserving.
+            Box::new(
+                WaveletEstimator::fit(data, BoundingBox::unit(dim), 4, 128).unwrap(),
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn density_is_nonnegative_everywhere() {
+    let synth = clustered(10_000, 2, 1);
+    for (name, est) in backends(&synth.data, 2) {
+        let mut x = [0.0f64; 2];
+        for i in 0..30 {
+            for j in 0..30 {
+                x[0] = i as f64 / 29.0;
+                x[1] = j as f64 / 29.0;
+                assert!(est.density(&x) >= 0.0, "{name} negative at {x:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn dataset_size_is_reported() {
+    let synth = clustered(10_000, 2, 2);
+    for (name, est) in backends(&synth.data, 2) {
+        assert_eq!(est.dataset_size(), 10_000.0, "{name}");
+        assert_eq!(est.dim(), 2, "{name}");
+        assert!((est.average_density() - 10_000.0).abs() < 1e-6, "{name}");
+    }
+}
+
+#[test]
+fn box_integral_approximates_point_count() {
+    // §2.1: for a given region R, the integral approximates |D ∩ R|.
+    // Probe with half-domain boxes (extended outward past the domain so
+    // boundary kernel mass stays in): each has a single interior edge, so
+    // kernel smoothing can only leak across one side and the counts are
+    // large enough for a tight relative bound.
+    let synth = clustered(20_000, 2, 3);
+    let halves = [
+        BoundingBox::new(vec![-0.5, -0.5], vec![0.5, 1.5]), // left
+        BoundingBox::new(vec![0.5, -0.5], vec![1.5, 1.5]),  // right
+        BoundingBox::new(vec![-0.5, -0.5], vec![1.5, 0.5]), // bottom
+        BoundingBox::new(vec![-0.5, 0.5], vec![1.5, 1.5]),  // top
+    ];
+    for (name, est) in backends(&synth.data, 2) {
+        for probe in &halves {
+            let truth = synth.data.iter().filter(|p| probe.contains(p)).count() as f64;
+            let got = est.integrate_box(probe);
+            let rel = (got - truth).abs() / truth.max(1.0);
+            assert!(rel < 0.2, "{name}: half-domain integral {got} vs count {truth}");
+        }
+    }
+}
+
+#[test]
+fn whole_domain_integral_is_n() {
+    let data = uniform_cube(10_000, 2, 4);
+    let kde_cfg = KdeConfig {
+        num_centers: 500,
+        domain: Some(BoundingBox::unit(2)),
+        seed: 5,
+        ..Default::default()
+    };
+    let kde = KernelDensityEstimator::fit_dataset(&data, &kde_cfg).unwrap();
+    // Integrate over a widened box so boundary kernel mass is captured.
+    let wide = BoundingBox::new(vec![-0.5, -0.5], vec![1.5, 1.5]);
+    let got = kde.integrate_box(&wide);
+    assert!((got - 10_000.0).abs() < 10.0, "kde total mass {got}");
+
+    let grid = GridEstimator::fit(&data, BoundingBox::unit(2), 16).unwrap();
+    let got = grid.integrate_box(&BoundingBox::unit(2));
+    assert!((got - 10_000.0).abs() < 1e-6, "grid total mass {got}");
+}
+
+#[test]
+fn uniform_data_has_flat_density() {
+    let data = uniform_cube(50_000, 2, 6);
+    for (name, est) in backends(&data, 2) {
+        // Sample interior points; density should hover near n within a
+        // modest band (away from boundary bias).
+        let mut min_d = f64::INFINITY;
+        let mut max_d: f64 = 0.0;
+        for i in 0..20 {
+            for j in 0..20 {
+                let x = [0.2 + 0.6 * i as f64 / 19.0, 0.2 + 0.6 * j as f64 / 19.0];
+                let d = est.density(&x);
+                min_d = min_d.min(d);
+                max_d = max_d.max(d);
+            }
+        }
+        // A 500-kernel mixture has ~16 kernels overlapping any point, so
+        // ~25% relative noise is expected; the band is a smoke check, not
+        // a precision bound.
+        assert!(
+            min_d > 0.3 * 50_000.0 && max_d < 3.0 * 50_000.0,
+            "{name}: density band [{min_d}, {max_d}] too far from n"
+        );
+    }
+}
+
+#[test]
+fn clustered_data_has_contrast() {
+    let synth = clustered(20_000, 2, 8);
+    for (name, est) in backends(&synth.data, 2) {
+        let inside = synth.regions[0].center();
+        let in_density = est.density(&inside);
+        // A point far from every region.
+        let mut out = vec![0.0, 0.0];
+        'search: for i in 0..40 {
+            for j in 0..40 {
+                let cand = vec![i as f64 / 39.0, j as f64 / 39.0];
+                if synth.regions.iter().all(|r| r.inflate(0.08).dist_sq_to_point(&cand) > 0.0) {
+                    out = cand;
+                    break 'search;
+                }
+            }
+        }
+        let out_density = est.density(&out);
+        assert!(
+            in_density > 10.0 * (out_density + 1.0),
+            "{name}: inside {in_density} vs outside {out_density}"
+        );
+    }
+}

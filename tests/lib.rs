@@ -1,0 +1,44 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use dbs_core::Dataset;
+use dbs_synth::noise::with_noise_fraction;
+use dbs_synth::rect::{generate, RectConfig, SizeProfile};
+use dbs_synth::SyntheticDataset;
+
+/// The standard clustered workload used across the integration tests:
+/// `n` points, 10 equal rectangular clusters in `[0,1]^dim`.
+pub fn clustered(n: usize, dim: usize, seed: u64) -> SyntheticDataset {
+    let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(dim, seed) };
+    generate(&cfg, &SizeProfile::Equal).expect("generation succeeds at test sizes")
+}
+
+/// Same, plus uniform background noise at the given fraction.
+pub fn clustered_noisy(n: usize, dim: usize, noise: f64, seed: u64) -> SyntheticDataset {
+    with_noise_fraction(clustered(n, dim, seed), noise, seed ^ 0x5eed)
+}
+
+/// Fraction of `sample` indices whose ground-truth label is noise.
+pub fn noise_share(synth: &SyntheticDataset, indices: &[usize]) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    let noise =
+        indices.iter().filter(|&&i| synth.labels[i] == dbs_synth::NOISE_LABEL).count();
+    noise as f64 / indices.len() as f64
+}
+
+/// Uniform points in the unit cube (no structure), for null-hypothesis
+/// checks.
+pub fn uniform_cube(n: usize, dim: usize, seed: u64) -> Dataset {
+    use rand::Rng;
+    let mut rng = dbs_core::rng::seeded(seed);
+    let mut ds = Dataset::with_capacity(dim, n);
+    let mut p = vec![0.0; dim];
+    for _ in 0..n {
+        for x in p.iter_mut() {
+            *x = rng.gen();
+        }
+        ds.push(&p).expect("dim fixed");
+    }
+    ds
+}

@@ -1,0 +1,212 @@
+//! Property-based tests (proptest) on the core invariants of the system.
+
+use dbs_core::metric::{euclidean, euclidean_sq, Metric};
+use dbs_core::{BoundingBox, Dataset, MinMaxScaler};
+use dbs_sampling::biased::inclusion_probability;
+use dbs_sampling::theory::{
+    biased_expected_sample_size, biased_required_probability, uniform_sample_size,
+};
+use dbs_spatial::KdTree;
+use proptest::prelude::*;
+
+fn arb_points(
+    max_n: usize,
+    dim: usize,
+) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(
+        prop::collection::vec(-1000.0f64..1000.0, dim..=dim),
+        1..max_n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Metric axioms (up to floating point): symmetry, identity,
+    /// triangle inequality.
+    #[test]
+    fn metric_axioms(
+        a in prop::collection::vec(-100.0f64..100.0, 3),
+        b in prop::collection::vec(-100.0f64..100.0, 3),
+        c in prop::collection::vec(-100.0f64..100.0, 3),
+    ) {
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            let dab = m.distance(&a, &b);
+            let dba = m.distance(&b, &a);
+            prop_assert!((dab - dba).abs() < 1e-9);
+            prop_assert!(m.distance(&a, &a) < 1e-12);
+            let dac = m.distance(&a, &c);
+            let dcb = m.distance(&c, &b);
+            prop_assert!(dab <= dac + dcb + 1e-9);
+        }
+    }
+
+    /// Min-max scaling into the unit cube round-trips and stays in range.
+    #[test]
+    fn scaler_round_trip(rows in arb_points(60, 3)) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let (scaled, scaler) = MinMaxScaler::fit_transform(&ds).unwrap();
+        for p in scaled.iter() {
+            for &x in p {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&x));
+            }
+        }
+        let back = scaler.inverse(&scaled).unwrap();
+        for (orig, rt) in ds.iter().zip(back.iter()) {
+            for (x, y) in orig.iter().zip(rt) {
+                prop_assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()));
+            }
+        }
+    }
+
+    /// kd-tree nearest neighbor always matches brute force.
+    #[test]
+    fn kdtree_nearest_matches_brute(
+        rows in arb_points(80, 2),
+        qx in -1000.0f64..1000.0,
+        qy in -1000.0f64..1000.0,
+    ) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let tree = KdTree::build(&ds);
+        let q = [qx, qy];
+        let (_, tree_dist) = tree.nearest(&ds, &q);
+        let brute = ds.iter().map(|p| euclidean(&q, p)).fold(f64::INFINITY, f64::min);
+        prop_assert!((tree_dist - brute).abs() < 1e-9 * (1.0 + brute));
+    }
+
+    /// kd-tree radius count always matches brute force.
+    #[test]
+    fn kdtree_count_matches_brute(
+        rows in arb_points(80, 2),
+        qx in -1000.0f64..1000.0,
+        qy in -1000.0f64..1000.0,
+        r in 0.0f64..500.0,
+    ) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let tree = KdTree::build(&ds);
+        let q = [qx, qy];
+        let got = tree.count_within(&ds, &q, r);
+        let want = ds.iter().filter(|p| euclidean_sq(&q, p) <= r * r).count();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Bounding boxes built from data contain all their points; union
+    /// contains both inputs.
+    #[test]
+    fn bbox_contains_and_union(rows in arb_points(40, 3)) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let bb = ds.bounding_box().unwrap().inflate(1e-9);
+        for p in ds.iter() {
+            prop_assert!(bb.contains(p));
+        }
+        let other = BoundingBox::new(vec![-1.0; 3], vec![1.0; 3]);
+        let u = bb.union(&other);
+        prop_assert!(u.contains(&[-1.0, -1.0, -1.0]));
+        for p in ds.iter() {
+            prop_assert!(u.contains(p));
+        }
+    }
+
+    /// The Figure 1 inclusion probability is a valid probability, monotone
+    /// in density for a > 0 and anti-monotone for a < 0.
+    #[test]
+    fn inclusion_probability_properties(
+        d1 in 1e-6f64..1e6,
+        d2 in 1e-6f64..1e6,
+        a in -1.5f64..1.5,
+        b in 1.0f64..10_000.0,
+        k in 1e-3f64..1e9,
+    ) {
+        let floor = 1e-9;
+        let p1 = inclusion_probability(d1, a, floor, b, k);
+        let p2 = inclusion_probability(d2, a, floor, b, k);
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!((0.0..=1.0).contains(&p2));
+        if d1 < d2 {
+            if a > 0.0 {
+                prop_assert!(p1 <= p2 + 1e-15);
+            } else if a < 0.0 {
+                prop_assert!(p1 >= p2 - 1e-15);
+            }
+        }
+    }
+
+    /// The Guha bound is monotone in its arguments the way §2 describes:
+    /// it grows with the required fraction and confidence, shrinks with
+    /// cluster size.
+    #[test]
+    fn guha_bound_monotonicity(
+        n in 1_000usize..1_000_000,
+        u in 10usize..900,
+        xi in 0.05f64..0.9,
+        delta in 0.01f64..0.5,
+    ) {
+        let base = uniform_sample_size(n, u, xi, delta);
+        prop_assert!(base > 0.0);
+        prop_assert!(uniform_sample_size(n, u, (xi + 0.05).min(1.0), delta) >= base - 1e-9);
+        prop_assert!(uniform_sample_size(n, u, xi, delta / 2.0) >= base - 1e-9);
+        prop_assert!(uniform_sample_size(n, u + 10, xi, delta) <= base + 1e-9);
+    }
+
+    /// Theorem 1 consistency: sampling at the biased required probability
+    /// always yields an expected sample no larger than n, and the expected
+    /// size formula is linear in its rates.
+    #[test]
+    fn biased_size_sane(
+        n in 1_000usize..100_000,
+        u in 10usize..999,
+        xi in 0.05f64..0.9,
+        delta in 0.01f64..0.5,
+    ) {
+        let p = biased_required_probability(u, xi, delta);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let s = biased_expected_sample_size(n, u.min(n), p, p / 10.0);
+        prop_assert!(s <= n as f64 + 1e-9);
+        prop_assert!(s >= 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The biased sampler's expected size property (Property 2) holds for
+    /// arbitrary cluster geometry: drawing with any exponent from any
+    /// 2-blob mixture yields a sample within a generous band of b.
+    #[test]
+    fn sampler_expected_size_property(
+        seed in 0u64..1000,
+        a in -1.0f64..1.5,
+        split in 0.1f64..0.9,
+    ) {
+        use dbs_core::rng::seeded;
+        use rand::Rng;
+        let n = 4000usize;
+        let mut rng = seeded(seed);
+        let mut ds = Dataset::with_capacity(2, n);
+        let first = (split * n as f64) as usize;
+        for i in 0..n {
+            let (cx, cy) = if i < first { (0.3, 0.3) } else { (0.7, 0.7) };
+            ds.push(&[cx + (rng.gen::<f64>() - 0.5) * 0.2, cy + (rng.gen::<f64>() - 0.5) * 0.2])
+                .unwrap();
+        }
+        let est = dbs_density::KernelDensityEstimator::fit_dataset(
+            &ds,
+            &dbs_density::KdeConfig {
+                num_centers: 200,
+                domain: Some(BoundingBox::unit(2)),
+                seed,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (s, _) = dbs_sampling::density_biased_sample(
+            &ds,
+            &est,
+            &dbs_sampling::BiasedConfig::new(400, a).with_seed(seed ^ 1),
+        )
+        .unwrap();
+        let size = s.len() as f64;
+        // 400 expected; allow a wide stochastic band.
+        prop_assert!((250.0..600.0).contains(&size), "size {} for a={}", size, a);
+    }
+}
