@@ -1,0 +1,395 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io registry, so this crate vendors
+//! the slice of the criterion 0.5 API the workspace's benches use. It is a
+//! plain wall-clock harness:
+//!
+//! * each benchmark is warmed up once, then measured for `sample_size`
+//!   samples (each sample runs the routine enough times to cover a minimum
+//!   measurable window);
+//! * the median per-iteration time is reported to stdout;
+//! * when the `CRITERION_JSON` environment variable names a file, one JSON
+//!   record per benchmark is appended to it (used to record bench
+//!   trajectories in the repo).
+//!
+//! Command-line compatibility: positional arguments act as substring
+//! filters on benchmark ids (what `cargo bench -- <filter>` passes);
+//! `--bench`/`--test` and other flags are accepted and ignored.
+
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Minimum measured window per sample; short routines are batched until
+/// one sample takes at least this long.
+const MIN_SAMPLE_WINDOW: Duration = Duration::from_millis(8);
+
+/// Opaque black box: prevents the optimizer from deleting a benchmarked
+/// computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (used when the group name already identifies the
+    /// function).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various id forms `bench_function` accepts.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Measured per-iteration nanoseconds of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, batching calls until the sample window is long
+    /// enough to measure reliably.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_SAMPLE_WINDOW || iters >= 1 << 20 {
+                self.last_ns = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            // Grow toward a window comfortably above the threshold.
+            let scale = (MIN_SAMPLE_WINDOW.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64)
+                .ceil() as u64;
+            iters = iters.saturating_mul(scale.clamp(2, 1024));
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Record {
+    id: String,
+    median_ns: f64,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Record {
+    fn human(&self) -> String {
+        let mut line = format!("{:<60} {:>14}", self.id, format_ns(self.median_ns));
+        if let Some(tp) = self.throughput {
+            let (count, unit) = match tp {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            let rate = count / (self.median_ns / 1e9);
+            let _ = write!(line, "  {:>12.4e} {unit}", rate);
+        }
+        line
+    }
+
+    fn json(&self) -> String {
+        let mut extra = String::new();
+        if let Some(tp) = self.throughput {
+            let (count, kind) = match tp {
+                Throughput::Elements(n) => (n, "elements"),
+                Throughput::Bytes(n) => (n, "bytes"),
+            };
+            let rate = count as f64 / (self.median_ns / 1e9);
+            let _ = write!(
+                extra,
+                ",\"throughput\":{{\"per_iter\":{count},\"kind\":\"{kind}\",\"per_second\":{rate}}}"
+            );
+        }
+        format!(
+            "{{\"id\":\"{}\",\"median_ns\":{},\"samples\":{}{}}}",
+            self.id, self.median_ns, self.samples, extra
+        )
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filters: Vec<String>,
+    records: Vec<Record>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Positional args are filters; flags from `cargo bench` are ignored.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion {
+            filters,
+            records: Vec::new(),
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Whether `id` passes the command-line filters.
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.selected(&id) {
+            return;
+        }
+        let mut bencher = Bencher { last_ns: 0.0 };
+        // Warmup.
+        f(&mut bencher);
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size.max(1) {
+            f(&mut bencher);
+            samples.push(bencher.last_ns);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let median = samples[samples.len() / 2];
+        let record = Record {
+            id,
+            median_ns: median,
+            samples: samples.len(),
+            throughput,
+        };
+        println!("{}", record.human());
+        self.records.push(record);
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(id.into_benchmark_id(), sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Writes collected records to `CRITERION_JSON` (if set). Called by
+    /// [`criterion_main!`] after all groups ran.
+    pub fn flush_json(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        use std::io::Write;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path);
+        match file {
+            Ok(mut f) => {
+                for r in &self.records {
+                    let _ = writeln!(f, "{}", r.json());
+                }
+            }
+            Err(e) => eprintln!("criterion stand-in: cannot open {path}: {e}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.clamp(2, 100));
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        let throughput = self.throughput;
+        self.criterion.run_one(id, sample_size, throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (stdout separator only; measurements are flushed as
+    /// they complete).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Declares a bench group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.flush_json();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            filters: vec![],
+            records: vec![],
+            default_sample_size: 3,
+        };
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let mut c = Criterion {
+            filters: vec!["match".into()],
+            records: vec![],
+            default_sample_size: 2,
+        };
+        c.bench_function("matching_bench", |b| b.iter(|| 1));
+        c.bench_function("other", |b| b.iter(|| 1));
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].id.contains("match"));
+    }
+
+    #[test]
+    fn ids_and_throughput_render() {
+        let id = BenchmarkId::new("density", 1000).into_benchmark_id();
+        assert_eq!(id, "density/1000");
+        let r = Record {
+            id,
+            median_ns: 2_000_000.0,
+            samples: 5,
+            throughput: Some(Throughput::Elements(1000)),
+        };
+        assert!(r.human().contains("ms"));
+        assert!(r.json().contains("\"per_second\""));
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io registry, so this crate vendors
+//! the slice of the proptest 1.x API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` inner attribute;
+//! * [`strategy::Strategy`] with range strategies over `f64`/integers and
+//!   [`collection::vec`];
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Differences from upstream: inputs are generated from a deterministic
+//! per-test seed (reproducible across runs), and there is no shrinking —
+//! a failing case panics immediately with its case number, which is enough
+//! to re-run and debug deterministically.
+
+use rand::rngs::StdRng;
+
+/// The generator handed to strategies.
+pub type TestRng = StdRng;
+
+pub mod test_runner {
+    //! Runner configuration (the `ProptestConfig` surface).
+
+    /// Mirror of `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of an associated type.
+    ///
+    /// Upstream proptest's `Strategy` produces shrinkable value trees; this
+    /// stand-in generates plain values.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(usize, u64, u32, i64, i32);
+
+    /// Strategy adapter returned by [`crate::collection::vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: crate::collection::SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Constant-value strategy (`Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use super::strategy::{Strategy, VecStrategy};
+    use super::TestRng;
+    use rand::Rng;
+
+    /// An inclusive range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        pub(crate) fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// `Vec` strategy: `size` elements generated by `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface (`use proptest::prelude::*`).
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of upstream's `prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Derives the deterministic seed for one generated case of a named test.
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1))
+}
+
+/// Builds the per-case generator.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    use rand::SeedableRng;
+    TestRng::seed_from_u64(case_seed(test_name, case))
+}
+
+/// Property-test entry macro. Matches the upstream grammar subset:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0.0f64..1.0, v in prop::collection::vec(0u64..10, 1..5)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $(let $arg = $strat;)*
+            // Shadow each strategy binding so the loop below can generate
+            // fresh values per case from the same strategy object.
+            for __case in 0..config.cases {
+                let mut __rng = $crate::case_rng(stringify!($name), __case);
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);
+                )*
+                let __guard = $crate::CasePanicContext::new(stringify!($name), __case);
+                { $body }
+                __guard.disarm();
+            }
+        }
+    )*};
+}
+
+/// Prints the failing case number if the test body panics (poor man's
+/// substitute for shrinking: the case is deterministic, so it can be
+/// re-run under a debugger by filtering on the reported number).
+pub struct CasePanicContext {
+    name: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CasePanicContext {
+    pub fn new(name: &'static str, case: u32) -> Self {
+        CasePanicContext {
+            name,
+            case,
+            armed: true,
+        }
+    }
+
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CasePanicContext {
+    fn drop(&mut self) {
+        if self.armed {
+            eprintln!(
+                "proptest stand-in: property {} failed at deterministic case {} (seed {:#x})",
+                self.name,
+                self.case,
+                case_seed(self.name, self.case)
+            );
+        }
+    }
+}
+
+/// Assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -5.0f64..5.0, n in 1usize..20) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..20).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0.0f64..1.0, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn nested_vec(rows in prop::collection::vec(prop::collection::vec(-1.0f64..1.0, 3..=3), 1..4)) {
+            prop_assert!(rows.iter().all(|r| r.len() == 3));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::case_rng("t", 0);
+        let mut b = crate::case_rng("t", 0);
+        use rand::Rng;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

@@ -15,7 +15,12 @@ fn kernel_ablation(c: &mut Criterion) {
     let synth = bench_workload(20_000, 19);
     let mut group = c.benchmark_group("ablation_kernel");
     group.sample_size(10);
-    for kernel in [Kernel::Epanechnikov, Kernel::Gaussian, Kernel::Biweight, Kernel::Uniform] {
+    for kernel in [
+        Kernel::Epanechnikov,
+        Kernel::Gaussian,
+        Kernel::Biweight,
+        Kernel::Uniform,
+    ] {
         let cfg = KdeConfig {
             num_centers: 500,
             kernel,
@@ -79,7 +84,7 @@ fn backend_ablation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_estimator_backend");
     group.sample_size(10);
-    let run = |est: &dyn DensityEstimator| {
+    let run = |est: &(dyn DensityEstimator + Sync)| {
         density_biased_sample(&synth.data, est, &BiasedConfig::new(400, 1.0)).unwrap()
     };
     group.bench_function("sample_via_kde", |bench| bench.iter(|| run(&kde)));
@@ -88,5 +93,10 @@ fn backend_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, kernel_ablation, bandwidth_ablation, backend_ablation);
+criterion_group!(
+    benches,
+    kernel_ablation,
+    bandwidth_ablation,
+    backend_ablation
+);
 criterion_main!(benches);

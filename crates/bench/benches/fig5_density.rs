@@ -25,9 +25,8 @@ fn fig5(c: &mut Criterion) {
             });
         });
         group.bench_with_input(BenchmarkId::new("grid_pf_e-0.5", b), &b, |bench, &b| {
-            bench.iter(|| {
-                grid_biased_sample(&synth.data, &GridBiasedConfig::new(b, -0.5)).unwrap()
-            });
+            bench
+                .iter(|| grid_biased_sample(&synth.data, &GridBiasedConfig::new(b, -0.5)).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("uniform", b), &b, |bench, &b| {
             bench.iter(|| bernoulli_sample(&synth.data, b, 10).unwrap());

@@ -12,7 +12,10 @@ use dbs_synth::outliers::planted_outliers;
 use dbs_synth::rect::RectConfig;
 
 fn outliers(c: &mut Criterion) {
-    let background = RectConfig { total_points: 10_000, ..RectConfig::paper_standard(2, 15) };
+    let background = RectConfig {
+        total_points: 10_000,
+        ..RectConfig::paper_standard(2, 15)
+    };
     let planted = planted_outliers(&background, 8, 0.12, 16).unwrap();
     let data = planted.synth.data;
     let params = DbOutlierParams::new(0.03, 3).unwrap();
@@ -30,7 +33,9 @@ fn outliers(c: &mut Criterion) {
         bench.iter(|| cell_based_outliers(&data, &params, &BoundingBox::unit(2)));
     });
     group.bench_function("one_pass_count_estimate", |bench| {
-        bench.iter(|| estimate_outlier_count(&data, &est, &params, 64, 18).unwrap());
+        bench.iter(|| {
+            estimate_outlier_count(&data, &est, &params, 64, 18, dbs_core::par::serial()).unwrap()
+        });
     });
     group.finish();
 }

@@ -1,0 +1,53 @@
+//! Thread-scaling of the deterministic parallel layer: batch density
+//! evaluation and the two-pass biased sampler at 1/2/4/8 worker threads
+//! over 100k- and 1M-point workloads.
+//!
+//! The output is identical at every thread count (see
+//! `tests/parallel_parity.rs`), so this bench measures pure throughput:
+//! the speedup ceiling is the machine's core count. On a single-core host
+//! the four thread settings collapse to roughly equal times — that is the
+//! expected reading, not a regression.
+
+use std::num::NonZeroUsize;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbs_bench::{bench_kde, bench_workload};
+use dbs_density::DensityEstimator;
+use dbs_sampling::{density_biased_sample, BiasedConfig};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn par_scaling(c: &mut Criterion) {
+    for &n in &[100_000usize, 1_000_000] {
+        let synth = bench_workload(n, 11);
+        let est = bench_kde(&synth.data, 1000, 2);
+
+        let mut group = c.benchmark_group(format!("par_scaling_density_{}k", n / 1000));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(n as u64));
+        for &t in &THREADS {
+            let threads = NonZeroUsize::new(t).unwrap();
+            group.bench_with_input(BenchmarkId::new("batch_density", t), &t, |bench, _| {
+                bench.iter(|| est.densities(&synth.data, threads).unwrap());
+            });
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("par_scaling_sample_{}k", n / 1000));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(n as u64));
+        for &t in &THREADS {
+            let threads = NonZeroUsize::new(t).unwrap();
+            let cfg = BiasedConfig::new(n / 50, 1.0)
+                .with_seed(5)
+                .with_parallelism(threads);
+            group.bench_with_input(BenchmarkId::new("biased_sample", t), &t, |bench, _| {
+                bench.iter(|| density_biased_sample(&synth.data, &est, &cfg).unwrap());
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, par_scaling);
+criterion_main!(benches);

@@ -14,21 +14,18 @@ fn scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("fit_plus_sample", n), &n, |bench, &n| {
             bench.iter(|| {
                 let est = bench_kde(&synth.data, 1000, 14);
-                density_biased_sample(&synth.data, &est, &BiasedConfig::new(n / 100, 1.0))
-                    .unwrap()
+                density_biased_sample(&synth.data, &est, &BiasedConfig::new(n / 100, 1.0)).unwrap()
             });
         });
         let est = bench_kde(&synth.data, 1000, 14);
         group.bench_with_input(BenchmarkId::new("two_pass_sample", n), &n, |bench, &n| {
             bench.iter(|| {
-                density_biased_sample(&synth.data, &est, &BiasedConfig::new(n / 100, 1.0))
-                    .unwrap()
+                density_biased_sample(&synth.data, &est, &BiasedConfig::new(n / 100, 1.0)).unwrap()
             });
         });
         group.bench_with_input(BenchmarkId::new("one_pass_sample", n), &n, |bench, &n| {
             bench.iter(|| {
-                one_pass_biased_sample(&synth.data, &est, &BiasedConfig::new(n / 100, 1.0))
-                    .unwrap()
+                one_pass_biased_sample(&synth.data, &est, &BiasedConfig::new(n / 100, 1.0)).unwrap()
             });
         });
     }

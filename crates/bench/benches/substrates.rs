@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbs_bench::{bench_workload, bench_workload_noisy};
-use dbs_cluster::{hierarchical_cluster, kmeans, Birch, BirchConfig, HierarchicalConfig, KMeansConfig};
+use dbs_cluster::{
+    hierarchical_cluster, kmeans, Birch, BirchConfig, HierarchicalConfig, KMeansConfig,
+};
 use dbs_core::BoundingBox;
 use dbs_spatial::{GridIndex, KdTree};
 
@@ -57,14 +59,11 @@ fn clustering(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("hierarchical_600", |bench| {
         bench.iter(|| {
-            hierarchical_cluster(sample.points(), &HierarchicalConfig::paper_defaults(10))
-                .unwrap()
+            hierarchical_cluster(sample.points(), &HierarchicalConfig::paper_defaults(10)).unwrap()
         });
     });
     group.bench_function("kmeans_600", |bench| {
-        bench.iter(|| {
-            kmeans(sample.points(), sample.weights(), &KMeansConfig::new(10)).unwrap()
-        });
+        bench.iter(|| kmeans(sample.points(), sample.weights(), &KMeansConfig::new(10)).unwrap());
     });
     group.bench_function("birch_full_20k", |bench| {
         bench.iter(|| {

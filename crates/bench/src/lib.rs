@@ -13,7 +13,10 @@ use dbs_synth::SyntheticDataset;
 
 /// Standard bench workload: `n` points, 10 equal clusters, 2-d.
 pub fn bench_workload(n: usize, seed: u64) -> SyntheticDataset {
-    let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(2, seed) };
+    let cfg = RectConfig {
+        total_points: n,
+        ..RectConfig::paper_standard(2, seed)
+    };
     generate(&cfg, &SizeProfile::Equal).expect("bench workload generates")
 }
 
@@ -24,7 +27,10 @@ pub fn bench_workload_noisy(n: usize, noise: f64, seed: u64) -> SyntheticDataset
 
 /// Variable-density variant (10x spread).
 pub fn bench_workload_variable(n: usize, seed: u64) -> SyntheticDataset {
-    let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(2, seed) };
+    let cfg = RectConfig {
+        total_points: n,
+        ..RectConfig::paper_standard(2, seed)
+    };
     generate(&cfg, &SizeProfile::VariableDensity { ratio: 10.0 }).expect("generates")
 }
 

@@ -67,7 +67,9 @@ commands:
               --at X,Y,...    query point (original coordinates)
               --kernels K     kernel centers (default 1000)
 common options:
-  --seed N    RNG seed (default 0)
+  --seed N      RNG seed (default 0)
+  --threads N   worker threads (default: all available cores; results are
+                identical for every value)
 ";
 
 /// Parses raw arguments (without the program name).
@@ -77,7 +79,10 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         .next()
         .and_then(|s| Command::from_str(s))
         .ok_or_else(|| "missing or unknown command".to_string())?;
-    let input = it.next().cloned().ok_or_else(|| "missing input file".to_string())?;
+    let input = it
+        .next()
+        .cloned()
+        .ok_or_else(|| "missing input file".to_string())?;
     if input.starts_with("--") {
         return Err(format!("expected input file, got option {input}"));
     }
@@ -102,7 +107,11 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
         options.insert(name, value.to_string());
         i += 2;
     }
-    Ok(ParsedArgs { command, input, options })
+    Ok(ParsedArgs {
+        command,
+        input,
+        options,
+    })
 }
 
 impl ParsedArgs {
@@ -110,7 +119,9 @@ impl ParsedArgs {
     pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
         }
     }
 
@@ -118,7 +129,9 @@ impl ParsedArgs {
     pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got {v:?}")),
         }
     }
 
@@ -126,7 +139,20 @@ impl ParsedArgs {
     pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.options.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        }
+    }
+
+    /// The `--threads` option: worker thread count, defaulting to the
+    /// machine's available parallelism. Zero is rejected.
+    pub fn get_threads(&self) -> Result<std::num::NonZeroUsize, String> {
+        match self.options.get("threads") {
+            None => Ok(dbs_core::par::available_parallelism()),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--threads expects a positive integer, got {v:?}")),
         }
     }
 
@@ -174,7 +200,14 @@ mod tests {
 
     #[test]
     fn parses_flags_and_floats() {
-        let p = parse(&strs(&["cluster", "d.bin", "--exponent", "-0.5", "--no-trim"])).unwrap();
+        let p = parse(&strs(&[
+            "cluster",
+            "d.bin",
+            "--exponent",
+            "-0.5",
+            "--no-trim",
+        ]))
+        .unwrap();
         assert_eq!(p.get_f64("exponent", 1.0).unwrap(), -0.5);
         assert!(p.get_flag("no-trim"));
         assert!(!p.get_flag("verbose"));
@@ -203,5 +236,20 @@ mod tests {
         assert!(p.get_usize("size", 10).is_err());
         let p = parse(&strs(&["density", "d.txt", "--at", "1,x"])).unwrap();
         assert!(p.get_point("at").is_err());
+    }
+
+    #[test]
+    fn parses_threads_option() {
+        let p = parse(&strs(&["sample", "d.txt", "--threads", "4"])).unwrap();
+        assert_eq!(p.get_threads().unwrap().get(), 4);
+        let p = parse(&strs(&["sample", "d.txt"])).unwrap();
+        assert!(p.get_threads().unwrap().get() >= 1);
+        for bad in ["0", "-2", "many"] {
+            let p = parse(&strs(&["sample", "d.txt", "--threads", bad])).unwrap();
+            assert!(
+                p.get_threads().is_err(),
+                "--threads {bad} should be rejected"
+            );
+        }
     }
 }

@@ -30,7 +30,11 @@ pub fn run(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
 
 fn load(path: &str) -> Result<Dataset, String> {
     let p = Path::new(path);
-    let result = if p.extension().map(|e| e == "dbs1" || e == "bin").unwrap_or(false) {
+    let result = if p
+        .extension()
+        .map(|e| e == "dbs1" || e == "bin")
+        .unwrap_or(false)
+    {
         read_binary(p)
     } else {
         read_text(p)
@@ -46,10 +50,7 @@ fn normalize(data: &Dataset) -> Result<(Dataset, MinMaxScaler), String> {
     MinMaxScaler::fit_transform(data).map_err(|e| e.to_string())
 }
 
-fn fit_kde(
-    scaled: &Dataset,
-    args: &ParsedArgs,
-) -> Result<KernelDensityEstimator, String> {
+fn fit_kde(scaled: &Dataset, args: &ParsedArgs) -> Result<KernelDensityEstimator, String> {
     let kernels = args.get_usize("kernels", 1000)?;
     let cfg = KdeConfig {
         num_centers: kernels,
@@ -75,9 +76,10 @@ fn sample(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(), 
     let est = fit_kde(&scaled, args)?;
     let b = args.get_usize("size", 1000)?;
     let a = args.get_f64("exponent", 1.0)?;
-    let cfg = BiasedConfig::new(b, a).with_seed(args.get_u64("seed", 0)?);
-    let (s, stats) =
-        density_biased_sample(&scaled, &est, &cfg).map_err(|e| e.to_string())?;
+    let cfg = BiasedConfig::new(b, a)
+        .with_seed(args.get_u64("seed", 0)?)
+        .with_parallelism(args.get_threads()?);
+    let (s, stats) = density_biased_sample(&scaled, &est, &cfg).map_err(|e| e.to_string())?;
     writeln!(
         out,
         "sampled {} of {} points (target {b}, a = {a}, normalizer k = {:.4e}, {} clipped)",
@@ -108,8 +110,12 @@ fn sample(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(), 
             writeln!(out, "  {p:?}").map_err(io_err)?;
         }
         if original.len() > 5 {
-            writeln!(out, "  ... ({} more; use --output FILE)", original.len() - 5)
-                .map_err(io_err)?;
+            writeln!(
+                out,
+                "  ... ({} more; use --output FILE)",
+                original.len() - 5
+            )
+            .map_err(io_err)?;
         }
     }
     let _ = scaler;
@@ -122,14 +128,21 @@ fn cluster(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(),
     let b = args.get_usize("size", 1000)?;
     let a = args.get_f64("exponent", 1.0)?;
     let k = args.get_usize("clusters", 10)?;
-    let cfg = BiasedConfig::new(b, a).with_seed(args.get_u64("seed", 0)?);
+    let threads = args.get_threads()?;
+    let cfg = BiasedConfig::new(b, a)
+        .with_seed(args.get_u64("seed", 0)?)
+        .with_parallelism(threads);
     let (s, _) = density_biased_sample(&scaled, &est, &cfg).map_err(|e| e.to_string())?;
-    let mut hc = HierarchicalConfig::paper_defaults(k);
+    let mut hc = HierarchicalConfig::paper_defaults(k).with_parallelism(threads);
     if args.get_flag("no-trim") {
         hc.trim_min_size = 0;
     }
     let clustering = hierarchical_cluster(s.points(), &hc).map_err(|e| e.to_string())?;
-    let noise = clustering.assignments.iter().filter(|&&x| x == NOISE).count();
+    let noise = clustering
+        .assignments
+        .iter()
+        .filter(|&&x| x == NOISE)
+        .count();
     writeln!(
         out,
         "clustered a {}-point sample into {} clusters ({} sample points trimmed as noise)",
@@ -149,7 +162,9 @@ fn cluster(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(),
             "  cluster {i}: {} sample points (≈{:.0} dataset points), mean {:?}",
             c.members.len(),
             est_size,
-            mean.iter().map(|x| (x * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+            mean.iter()
+                .map(|x| (x * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
         )
         .map_err(io_err)?;
     }
@@ -165,6 +180,7 @@ fn outliers(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<()
     let mut cfg = ApproxConfig::new(params);
     cfg.slack = args.get_f64("slack", 3.0)?;
     cfg.seed = args.get_u64("seed", 0)?;
+    cfg.parallelism = args.get_threads()?;
     let report = approx_outliers(&scaled, &est, &cfg).map_err(|e| e.to_string())?;
     writeln!(
         out,
@@ -185,17 +201,28 @@ fn outliers(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<()
 fn density(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(), String> {
     let (scaled, scaler) = normalize(data)?;
     let est = fit_kde(&scaled, args)?;
+    // Single-point evaluation has no batch to spread across workers, but
+    // the option is still validated so `--threads 0` fails uniformly.
+    args.get_threads()?;
     let at = args
         .get_point("at")?
         .ok_or_else(|| "density requires --at X,Y,...".to_string())?;
     if at.len() != data.dim() {
-        return Err(format!("--at has {} coordinates, data has {}", at.len(), data.dim()));
+        return Err(format!(
+            "--at has {} coordinates, data has {}",
+            at.len(),
+            data.dim()
+        ));
     }
     let mut q = at.clone();
     scaler.transform_point(&mut q);
     let d = est.density(&q);
-    writeln!(out, "density at {at:?}: {d:.4} (average over domain: {:.4})", est.average_density())
-        .map_err(io_err)?;
+    writeln!(
+        out,
+        "density at {at:?}: {d:.4} (average over domain: {:.4})",
+        est.average_density()
+    )
+    .map_err(io_err)?;
     writeln!(
         out,
         "relative to average: {:.2}x",
@@ -258,7 +285,14 @@ mod tests {
         let file = write_sample_file("sample");
         let out_file = format!("{file}.sample");
         let output = run_cli(&[
-            "sample", &file, "--size", "100", "--exponent", "1.0", "--output", &out_file,
+            "sample",
+            &file,
+            "--size",
+            "100",
+            "--exponent",
+            "1.0",
+            "--output",
+            &out_file,
         ]);
         assert!(output.contains("sampled"));
         let written = read_text(Path::new(&out_file)).unwrap();
@@ -274,11 +308,21 @@ mod tests {
     fn cluster_finds_the_two_blobs() {
         let file = write_sample_file("cluster");
         let output = run_cli(&[
-            "cluster", &file, "--clusters", "2", "--size", "300", "--kernels", "200",
+            "cluster",
+            &file,
+            "--clusters",
+            "2",
+            "--size",
+            "300",
+            "--kernels",
+            "200",
         ]);
         assert!(output.contains("into 2 clusters"), "{output}");
         // Means reported in original coordinates (near the blob centers).
-        assert!(output.contains("102.") || output.contains("103."), "{output}");
+        assert!(
+            output.contains("102.") || output.contains("103."),
+            "{output}"
+        );
         std::fs::remove_file(&file).ok();
     }
 
@@ -288,8 +332,16 @@ mod tests {
         // Radius in normalized units; the isolated point is far from both
         // blobs.
         let output = run_cli(&[
-            "outliers", &file, "--radius", "0.1", "--neighbors", "2", "--kernels", "200",
-            "--slack", "10",
+            "outliers",
+            &file,
+            "--radius",
+            "0.1",
+            "--neighbors",
+            "2",
+            "--kernels",
+            "200",
+            "--slack",
+            "10",
         ]);
         assert!(output.contains("#600"), "{output}");
         std::fs::remove_file(&file).ok();
@@ -308,6 +360,29 @@ mod tests {
                 .unwrap()
         };
         assert!(ratio(&in_blob) > ratio(&in_void), "{in_blob} vs {in_void}");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn sample_output_is_thread_count_independent() {
+        let file = write_sample_file("threads");
+        let mut outputs = Vec::new();
+        for t in ["1", "7"] {
+            let out_file = format!("{file}.t{t}");
+            run_cli(&[
+                "sample",
+                &file,
+                "--size",
+                "100",
+                "--output",
+                &out_file,
+                "--threads",
+                t,
+            ]);
+            outputs.push(std::fs::read_to_string(&out_file).unwrap());
+            std::fs::remove_file(&out_file).ok();
+        }
+        assert_eq!(outputs[0], outputs[1]);
         std::fs::remove_file(&file).ok();
     }
 

@@ -31,12 +31,20 @@ pub struct Cf {
 impl Cf {
     /// CF of a single point.
     pub fn from_point(p: &[f64]) -> Self {
-        Cf { n: 1.0, ls: p.to_vec(), ss: p.iter().map(|x| x * x).sum() }
+        Cf {
+            n: 1.0,
+            ls: p.to_vec(),
+            ss: p.iter().map(|x| x * x).sum(),
+        }
     }
 
     /// CF of a weighted point (used by the global phase).
     pub fn from_weighted_point(p: &[f64], w: f64) -> Self {
-        Cf { n: w, ls: p.iter().map(|x| x * w).collect(), ss: w * p.iter().map(|x| x * x).sum::<f64>() }
+        Cf {
+            n: w,
+            ls: p.iter().map(|x| x * w).collect(),
+            ss: w * p.iter().map(|x| x * x).sum::<f64>(),
+        }
     }
 
     /// Number of points summarized.
@@ -201,10 +209,14 @@ impl Birch {
         let threshold = self.threshold;
         let branching = self.branching;
         let mut created = false;
-        if let Some((c0, c1)) = Self::insert_rec(&mut self.root, cf, threshold, branching, &mut created)
+        if let Some((c0, c1)) =
+            Self::insert_rec(&mut self.root, cf, threshold, branching, &mut created)
         {
             // Root split.
-            self.root = Node::Interior { cfs: vec![c0.0, c1.0], children: vec![c0.1, c1.1] };
+            self.root = Node::Interior {
+                cfs: vec![c0.0, c1.0],
+                children: vec![c0.1, c1.1],
+            };
         }
         if created {
             self.leaf_entries += 1;
@@ -257,8 +269,13 @@ impl Birch {
                     .map(|(i, e)| (i, e.dist_sq(&cf)))
                     .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
                     .expect("interior nodes are never empty");
-                let split =
-                    Self::insert_rec(&mut children[best], cf.clone(), threshold, branching, created);
+                let split = Self::insert_rec(
+                    &mut children[best],
+                    cf.clone(),
+                    threshold,
+                    branching,
+                    created,
+                );
                 match split {
                     None => {
                         cfs[best].merge(&cf);
@@ -281,8 +298,20 @@ impl Birch {
                         let lcf = sum_cfs(&l.0);
                         let rcf = sum_cfs(&r.0);
                         Some((
-                            (lcf, Node::Interior { cfs: l.0, children: l.1 }),
-                            (rcf, Node::Interior { cfs: r.0, children: r.1 }),
+                            (
+                                lcf,
+                                Node::Interior {
+                                    cfs: l.0,
+                                    children: l.1,
+                                },
+                            ),
+                            (
+                                rcf,
+                                Node::Interior {
+                                    cfs: r.0,
+                                    children: r.1,
+                                },
+                            ),
                         ))
                     }
                 }
@@ -319,8 +348,16 @@ impl Birch {
                 }
             }
         }
-        let grown = if self.threshold > 0.0 { self.threshold * 1.5 } else { 1e-3 };
-        self.threshold = if closest.is_finite() { grown.max(closest * 1.01) } else { grown };
+        let grown = if self.threshold > 0.0 {
+            self.threshold * 1.5
+        } else {
+            1e-3
+        };
+        self.threshold = if closest.is_finite() {
+            grown.max(closest * 1.01)
+        } else {
+            grown
+        };
         self.root = Node::Leaf { cfs: Vec::new() };
         self.leaf_entries = 0;
         self.rebuilds += 1;
@@ -353,7 +390,11 @@ impl Birch {
         }
         let clusters = merged
             .into_iter()
-            .map(|cf| BirchCluster { center: cf.centroid(), radius: cf.radius(), weight: cf.count() })
+            .map(|cf| BirchCluster {
+                center: cf.centroid(),
+                radius: cf.radius(),
+                weight: cf.count(),
+            })
             .collect();
         BirchClustering {
             clusters,
@@ -369,7 +410,9 @@ impl Birch {
         config: &BirchConfig,
     ) -> Result<BirchClustering> {
         if source.is_empty() {
-            return Err(Error::InvalidParameter("cannot run BIRCH on empty source".into()));
+            return Err(Error::InvalidParameter(
+                "cannot run BIRCH on empty source".into(),
+            ));
         }
         if config.num_clusters == 0 {
             return Err(Error::InvalidParameter("num_clusters must be >= 1".into()));
@@ -550,8 +593,9 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_inputs() {
-        assert!(Birch::run_dataset(&Dataset::new(2), &BirchConfig::paper_defaults(2, 8, 2))
-            .is_err());
+        assert!(
+            Birch::run_dataset(&Dataset::new(2), &BirchConfig::paper_defaults(2, 8, 2)).is_err()
+        );
         let ds = Dataset::from_rows(&[vec![0.0, 0.0]]).unwrap();
         let mut cfg = BirchConfig::paper_defaults(1, 8, 2);
         cfg.num_clusters = 0;

@@ -28,7 +28,10 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        EvalConfig { rep_fraction: 0.9, margin: 0.0 }
+        EvalConfig {
+            rep_fraction: 0.9,
+            margin: 0.0,
+        }
     }
 }
 
@@ -39,11 +42,7 @@ impl Default for EvalConfig {
 /// `rep_fraction` of its representatives lie inside `t` (inflated by
 /// `margin`). Matching is greedy from the largest found cluster; each true
 /// region is credited once.
-pub fn clusters_found(
-    found: &[FoundCluster],
-    truth: &[BoundingBox],
-    config: &EvalConfig,
-) -> usize {
+pub fn clusters_found(found: &[FoundCluster], truth: &[BoundingBox], config: &EvalConfig) -> usize {
     let regions: Vec<BoundingBox> = truth.iter().map(|t| t.inflate(config.margin)).collect();
     let mut order: Vec<usize> = (0..found.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(found[i].members.len()));
@@ -54,8 +53,7 @@ pub fn clusters_found(
         if cluster.representatives.is_empty() {
             continue;
         }
-        let needed =
-            (config.rep_fraction * cluster.representatives.len() as f64).ceil() as usize;
+        let needed = (config.rep_fraction * cluster.representatives.len() as f64).ceil() as usize;
         for (ti, region) in regions.iter().enumerate() {
             if claimed[ti] {
                 continue;
@@ -158,7 +156,11 @@ mod tests {
 
     fn cluster(reps: Vec<Vec<f64>>, size: usize) -> FoundCluster {
         let mean = reps[0].clone();
-        FoundCluster { members: (0..size).collect(), mean, representatives: reps }
+        FoundCluster {
+            members: (0..size).collect(),
+            mean,
+            representatives: reps,
+        }
     }
 
     fn boxes() -> Vec<BoundingBox> {
@@ -210,17 +212,26 @@ mod tests {
         let found = vec![cluster(vec![vec![0.45, 0.45]], 10)];
         let truth = vec![BoundingBox::new(vec![0.0, 0.0], vec![0.4, 0.4])];
         assert_eq!(clusters_found(&found, &truth, &EvalConfig::default()), 0);
-        let relaxed = EvalConfig { margin: 0.1, ..Default::default() };
+        let relaxed = EvalConfig {
+            margin: 0.1,
+            ..Default::default()
+        };
         assert_eq!(clusters_found(&found, &truth, &relaxed), 1);
     }
 
     #[test]
     fn centers_criterion() {
         let centers = vec![vec![0.2, 0.2], vec![0.5, 0.5], vec![0.8, 0.8]];
-        assert_eq!(clusters_found_by_centers(&centers, &boxes(), &EvalConfig::default()), 2);
+        assert_eq!(
+            clusters_found_by_centers(&centers, &boxes(), &EvalConfig::default()),
+            2
+        );
         // One center cannot claim two regions.
         let single = vec![vec![0.2, 0.2]];
-        assert_eq!(clusters_found_by_centers(&single, &boxes(), &EvalConfig::default()), 1);
+        assert_eq!(
+            clusters_found_by_centers(&single, &boxes(), &EvalConfig::default()),
+            1
+        );
     }
 
     #[test]

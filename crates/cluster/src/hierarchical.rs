@@ -22,8 +22,10 @@
 //! The run time is quadratic in the sample size — which is exactly why the
 //! paper samples first (§3.1, Figure 2).
 
+use std::num::NonZeroUsize;
+
 use dbs_core::metric::euclidean_sq;
-use dbs_core::{Dataset, Error, Result};
+use dbs_core::{par, Dataset, Error, Result};
 use dbs_spatial::KdTree;
 
 /// Cluster id assigned to points trimmed as noise.
@@ -59,6 +61,10 @@ pub struct HierarchicalConfig {
     pub trim_min_size: usize,
     /// Divisor for the sample-proportional part of the trim minimum.
     pub trim_size_divisor: usize,
+    /// Worker threads for the setup phase (kd-tree construction and the
+    /// initial nearest-neighbor scan). The clustering result is identical
+    /// for every value; `1` runs fully serial.
+    pub parallelism: NonZeroUsize,
 }
 
 impl HierarchicalConfig {
@@ -72,7 +78,14 @@ impl HierarchicalConfig {
             trim_distance_factor: 3.0,
             trim_min_size: 3,
             trim_size_divisor: 200,
+            parallelism: par::available_parallelism(),
         }
+    }
+
+    /// Sets the worker thread count for the setup phase.
+    pub fn with_parallelism(mut self, threads: NonZeroUsize) -> Self {
+        self.parallelism = threads;
+        self
     }
 }
 
@@ -166,7 +179,10 @@ fn scattered_representatives(
         .into_iter()
         .map(|i| {
             let p = data.point(i as usize);
-            p.iter().zip(mean).map(|(&x, &m)| x + alpha * (m - x)).collect()
+            p.iter()
+                .zip(mean)
+                .map(|(&x, &m)| x + alpha * (m - x))
+                .collect()
         })
         .collect()
 }
@@ -197,23 +213,37 @@ fn scattered_representatives(
 /// ```
 pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Result<Clustering> {
     if data.is_empty() {
-        return Err(Error::InvalidParameter("cannot cluster an empty dataset".into()));
+        return Err(Error::InvalidParameter(
+            "cannot cluster an empty dataset".into(),
+        ));
     }
     if config.num_clusters == 0 {
         return Err(Error::InvalidParameter("num_clusters must be >= 1".into()));
     }
     if !(0.0..=1.0).contains(&config.shrink_factor) {
-        return Err(Error::InvalidParameter("shrink_factor must be in [0,1]".into()));
+        return Err(Error::InvalidParameter(
+            "shrink_factor must be in [0,1]".into(),
+        ));
     }
     if config.num_representatives == 0 {
-        return Err(Error::InvalidParameter("num_representatives must be >= 1".into()));
+        return Err(Error::InvalidParameter(
+            "num_representatives must be >= 1".into(),
+        ));
     }
     let n = data.len();
     let dim = data.dim();
     let k = config.num_clusters;
 
-    // Singleton initialization; nearest neighbors via kd-tree.
-    let tree = KdTree::build(data);
+    // Singleton initialization; nearest neighbors via kd-tree. Both the
+    // tree construction and the n nearest-neighbor queries parallelize
+    // without affecting the result: the parallel build is node-for-node
+    // identical to the serial one, and each query depends only on (tree,
+    // point i).
+    let threads = config.parallelism;
+    let tree = KdTree::build_par(data, threads);
+    let nearest = par::par_indices(n, threads, |i| {
+        tree.nearest_excluding(data, data.point(i), i)
+    });
     let mut clusters: Vec<Agglo> = (0..n)
         .map(|i| {
             let p = data.point(i).to_vec();
@@ -228,8 +258,8 @@ pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Resu
             }
         })
         .collect();
-    for i in 0..n {
-        if let Some((j, d)) = tree.nearest_excluding(data, data.point(i), i) {
+    for (i, found) in nearest.into_iter().enumerate() {
+        if let Some((j, d)) = found {
             clusters[i].closest = j;
             clusters[i].closest_dist = d * d;
         }
@@ -298,7 +328,9 @@ pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Resu
             // cluster distance scales), later trims are strict (by then
             // real clusters have consolidated while anything still small is
             // noise agglomerate).
-            let cap = config.trim_min_size.max(n / config.trim_size_divisor.max(1));
+            let cap = config
+                .trim_min_size
+                .max(n / config.trim_size_divisor.max(1));
             let min_size = config
                 .trim_min_size
                 .saturating_mul(3usize.saturating_pow(trim_round))
@@ -338,7 +370,10 @@ pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Resu
         let (members_v, sum_v) = {
             let cv = &mut clusters[v];
             cv.active = false;
-            (std::mem::take(&mut cv.members), std::mem::take(&mut cv.coord_sum))
+            (
+                std::mem::take(&mut cv.members),
+                std::mem::take(&mut cv.coord_sum),
+            )
         };
         live -= 1;
         {
@@ -392,9 +427,16 @@ pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Resu
         for &m in &members {
             assignments[m] = id;
         }
-        out_clusters.push(FoundCluster { members, mean: c.mean, representatives: c.reps });
+        out_clusters.push(FoundCluster {
+            members,
+            mean: c.mean,
+            representatives: c.reps,
+        });
     }
-    Ok(Clustering { assignments, clusters: out_clusters })
+    Ok(Clustering {
+        assignments,
+        clusters: out_clusters,
+    })
 }
 
 #[cfg(test)]
@@ -473,12 +515,18 @@ mod tests {
         let mut rng = seeded(4);
         let mut ds = Dataset::with_capacity(2, 260);
         for i in 0..200 {
-            ds.push(&[0.05 + 0.9 * (i as f64 / 200.0), 0.1 + (rng.gen::<f64>() - 0.5) * 0.02])
-                .unwrap();
+            ds.push(&[
+                0.05 + 0.9 * (i as f64 / 200.0),
+                0.1 + (rng.gen::<f64>() - 0.5) * 0.02,
+            ])
+            .unwrap();
         }
         for _ in 0..60 {
-            ds.push(&[0.5 + (rng.gen::<f64>() - 0.5) * 0.05, 0.8 + (rng.gen::<f64>() - 0.5) * 0.05])
-                .unwrap();
+            ds.push(&[
+                0.5 + (rng.gen::<f64>() - 0.5) * 0.05,
+                0.8 + (rng.gen::<f64>() - 0.5) * 0.05,
+            ])
+            .unwrap();
         }
         let mut cfg = HierarchicalConfig::paper_defaults(2);
         cfg.trim_min_size = 0;
@@ -495,7 +543,8 @@ mod tests {
         // Scatter isolated noise points far from the blobs.
         let mut rng = seeded(6);
         for _ in 0..8 {
-            ds.push(&[rng.gen::<f64>(), 0.9 + rng.gen::<f64>() * 0.1]).unwrap();
+            ds.push(&[rng.gen::<f64>(), 0.9 + rng.gen::<f64>() * 0.1])
+                .unwrap();
         }
         let res = hierarchical_cluster(&ds, &HierarchicalConfig::paper_defaults(2)).unwrap();
         assert_eq!(res.clusters.len(), 2);
@@ -511,8 +560,8 @@ mod tests {
         assert!(sizes[0] >= 55, "sizes {sizes:?}");
         for cluster in &res.clusters {
             let blob0 = cluster.members.iter().filter(|&&m| m < 100).count();
-            let purity = blob0.max(cluster.members.len() - blob0) as f64
-                / cluster.members.len() as f64;
+            let purity =
+                blob0.max(cluster.members.len() - blob0) as f64 / cluster.members.len() as f64;
             assert!(purity > 0.95, "cluster mixes blobs (purity {purity})");
         }
     }
@@ -537,8 +586,9 @@ mod tests {
     #[test]
     fn rejects_degenerate_inputs() {
         let (ds, _) = blobs(1, 10, 9);
-        assert!(hierarchical_cluster(&Dataset::new(2), &HierarchicalConfig::paper_defaults(2))
-            .is_err());
+        assert!(
+            hierarchical_cluster(&Dataset::new(2), &HierarchicalConfig::paper_defaults(2)).is_err()
+        );
         assert!(hierarchical_cluster(&ds, &HierarchicalConfig::paper_defaults(0)).is_err());
         let mut bad = HierarchicalConfig::paper_defaults(2);
         bad.shrink_factor = 1.5;
@@ -554,6 +604,25 @@ mod tests {
         let a = hierarchical_cluster(&ds, &HierarchicalConfig::paper_defaults(3)).unwrap();
         let b = hierarchical_cluster(&ds, &HierarchicalConfig::paper_defaults(3)).unwrap();
         assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn result_is_identical_for_every_thread_count() {
+        let (ds, _) = blobs(3, 60, 11);
+        let serial = hierarchical_cluster(
+            &ds,
+            &HierarchicalConfig::paper_defaults(3).with_parallelism(NonZeroUsize::new(1).unwrap()),
+        )
+        .unwrap();
+        for t in [2usize, 7] {
+            let par = hierarchical_cluster(
+                &ds,
+                &HierarchicalConfig::paper_defaults(3)
+                    .with_parallelism(NonZeroUsize::new(t).unwrap()),
+            )
+            .unwrap();
+            assert_eq!(par.assignments, serial.assignments, "threads={t}");
+        }
     }
 
     #[test]

@@ -27,7 +27,12 @@ pub struct KMeansConfig {
 impl KMeansConfig {
     /// Defaults: 100 iterations, 1e-6 tolerance.
     pub fn new(num_clusters: usize) -> Self {
-        KMeansConfig { num_clusters, max_iters: 100, tolerance: 1e-6, seed: 0 }
+        KMeansConfig {
+            num_clusters,
+            max_iters: 100,
+            tolerance: 1e-6,
+            seed: 0,
+        }
     }
 
     /// Sets the RNG seed.
@@ -57,7 +62,9 @@ pub fn kmeans(data: &Dataset, weights: &[f64], config: &KMeansConfig) -> Result<
     let n = data.len();
     let k = config.num_clusters;
     if n == 0 {
-        return Err(Error::InvalidParameter("cannot cluster an empty dataset".into()));
+        return Err(Error::InvalidParameter(
+            "cannot cluster an empty dataset".into(),
+        ));
     }
     if weights.len() != n {
         return Err(Error::InvalidParameter(format!(
@@ -67,10 +74,14 @@ pub fn kmeans(data: &Dataset, weights: &[f64], config: &KMeansConfig) -> Result<
         )));
     }
     if k == 0 || k > n {
-        return Err(Error::InvalidParameter(format!("need 1 <= k <= n, got k={k}, n={n}")));
+        return Err(Error::InvalidParameter(format!(
+            "need 1 <= k <= n, got k={k}, n={n}"
+        )));
     }
     if weights.iter().any(|&w| !(w > 0.0) || !w.is_finite()) {
-        return Err(Error::InvalidParameter("weights must be positive and finite".into()));
+        return Err(Error::InvalidParameter(
+            "weights must be positive and finite".into(),
+        ));
     }
     let dim = data.dim();
     let mut rng = seeded(config.seed);
@@ -141,7 +152,12 @@ pub fn kmeans(data: &Dataset, weights: &[f64], config: &KMeansConfig) -> Result<
                 // Empty cluster: reseed at the point farthest from its
                 // center (weighted).
                 let (far, _) = (0..n)
-                    .map(|i| (i, euclidean_sq(data.point(i), &centers[assignments[i]]) * weights[i]))
+                    .map(|i| {
+                        (
+                            i,
+                            euclidean_sq(data.point(i), &centers[assignments[i]]) * weights[i],
+                        )
+                    })
                     .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
                     .expect("n >= 1");
                 centers[c] = data.point(far).to_vec();
@@ -155,12 +171,20 @@ pub fn kmeans(data: &Dataset, weights: &[f64], config: &KMeansConfig) -> Result<
         prev_inertia = inertia;
     }
 
-    Ok(KMeansResult { centers, assignments, inertia, iterations })
+    Ok(KMeansResult {
+        centers,
+        assignments,
+        inertia,
+        iterations,
+    })
 }
 
 /// Runs weighted K-means directly on a [`WeightedSample`] — the §3.1 recipe
 /// for debiasing a density-biased sample.
-pub fn kmeans_weighted_sample(sample: &WeightedSample, config: &KMeansConfig) -> Result<KMeansResult> {
+pub fn kmeans_weighted_sample(
+    sample: &WeightedSample,
+    config: &KMeansConfig,
+) -> Result<KMeansResult> {
     kmeans(sample.points(), sample.weights(), config)
 }
 
@@ -210,8 +234,12 @@ mod tests {
     fn inertia_never_increases_with_more_clusters() {
         let (ds, _) = blobs(4, 50, 3);
         let w = vec![1.0; 200];
-        let i2 = kmeans(&ds, &w, &KMeansConfig::new(2).with_seed(4)).unwrap().inertia;
-        let i8 = kmeans(&ds, &w, &KMeansConfig::new(8).with_seed(4)).unwrap().inertia;
+        let i2 = kmeans(&ds, &w, &KMeansConfig::new(2).with_seed(4))
+            .unwrap()
+            .inertia;
+        let i8 = kmeans(&ds, &w, &KMeansConfig::new(8).with_seed(4))
+            .unwrap()
+            .inertia;
         assert!(i8 <= i2);
     }
 

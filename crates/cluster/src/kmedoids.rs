@@ -24,7 +24,11 @@ pub struct KMedoidsConfig {
 impl KMedoidsConfig {
     /// Defaults: 50 rounds.
     pub fn new(num_clusters: usize) -> Self {
-        KMedoidsConfig { num_clusters, max_iters: 50, seed: 0 }
+        KMedoidsConfig {
+            num_clusters,
+            max_iters: 50,
+            seed: 0,
+        }
     }
 
     /// Sets the RNG seed.
@@ -53,11 +57,17 @@ pub struct KMedoidsResult {
 /// swap neighborhood, one best swap per round, until no swap improves the
 /// cost or `max_iters` is reached. O(k · n²) per round — intended for
 /// samples, like everything the paper runs.
-pub fn kmedoids(data: &Dataset, weights: &[f64], config: &KMedoidsConfig) -> Result<KMedoidsResult> {
+pub fn kmedoids(
+    data: &Dataset,
+    weights: &[f64],
+    config: &KMedoidsConfig,
+) -> Result<KMedoidsResult> {
     let n = data.len();
     let k = config.num_clusters;
     if n == 0 {
-        return Err(Error::InvalidParameter("cannot cluster an empty dataset".into()));
+        return Err(Error::InvalidParameter(
+            "cannot cluster an empty dataset".into(),
+        ));
     }
     if weights.len() != n {
         return Err(Error::InvalidParameter(format!(
@@ -67,10 +77,14 @@ pub fn kmedoids(data: &Dataset, weights: &[f64], config: &KMedoidsConfig) -> Res
         )));
     }
     if k == 0 || k > n {
-        return Err(Error::InvalidParameter(format!("need 1 <= k <= n, got k={k}, n={n}")));
+        return Err(Error::InvalidParameter(format!(
+            "need 1 <= k <= n, got k={k}, n={n}"
+        )));
     }
     if weights.iter().any(|&w| !(w > 0.0) || !w.is_finite()) {
-        return Err(Error::InvalidParameter("weights must be positive and finite".into()));
+        return Err(Error::InvalidParameter(
+            "weights must be positive and finite".into(),
+        ));
     }
     let mut rng = seeded(config.seed);
 
@@ -155,7 +169,12 @@ pub fn kmedoids(data: &Dataset, weights: &[f64], config: &KMedoidsConfig) -> Res
         }
     }
 
-    Ok(KMedoidsResult { medoids, assignments, cost, iterations })
+    Ok(KMedoidsResult {
+        medoids,
+        assignments,
+        cost,
+        iterations,
+    })
 }
 
 /// Runs weighted K-medoids on a [`WeightedSample`] (§3.1 debiasing recipe).
@@ -195,8 +214,11 @@ mod tests {
         let ds = blobs(3, 40, 1);
         let res = kmedoids(&ds, &vec![1.0; 120], &KMedoidsConfig::new(3).with_seed(2)).unwrap();
         assert_eq!(res.medoids.len(), 3);
-        let mut blobs_hit: Vec<usize> =
-            res.medoids.iter().map(|&m| (ds.point(m)[0] * 3.0) as usize).collect();
+        let mut blobs_hit: Vec<usize> = res
+            .medoids
+            .iter()
+            .map(|&m| (ds.point(m)[0] * 3.0) as usize)
+            .collect();
         blobs_hit.sort_unstable();
         blobs_hit.dedup();
         assert_eq!(blobs_hit.len(), 3, "each medoid in its own blob");

@@ -61,7 +61,9 @@ impl BoundingBox {
 
     /// The center point of the box.
     pub fn center(&self) -> Vec<f64> {
-        (0..self.dim()).map(|j| 0.5 * (self.min[j] + self.max[j])).collect()
+        (0..self.dim())
+            .map(|j| 0.5 * (self.min[j] + self.max[j]))
+            .collect()
     }
 
     /// Whether `p` lies inside the box (boundaries inclusive).
@@ -81,8 +83,12 @@ impl BoundingBox {
     /// The smallest box containing both inputs.
     pub fn union(&self, other: &BoundingBox) -> BoundingBox {
         debug_assert_eq!(self.dim(), other.dim());
-        let min = (0..self.dim()).map(|j| self.min[j].min(other.min[j])).collect();
-        let max = (0..self.dim()).map(|j| self.max[j].max(other.max[j])).collect();
+        let min = (0..self.dim())
+            .map(|j| self.min[j].min(other.min[j]))
+            .collect();
+        let max = (0..self.dim())
+            .map(|j| self.max[j].max(other.max[j]))
+            .collect();
         BoundingBox::new(min, max)
     }
 

@@ -20,13 +20,19 @@ impl Dataset {
     /// `dim` must be at least 1.
     pub fn new(dim: usize) -> Self {
         assert!(dim >= 1, "dataset dimensionality must be >= 1");
-        Dataset { dim, data: Vec::new() }
+        Dataset {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Creates an empty dataset with room for `capacity` points.
     pub fn with_capacity(dim: usize, capacity: usize) -> Self {
         assert!(dim >= 1, "dataset dimensionality must be >= 1");
-        Dataset { dim, data: Vec::with_capacity(dim * capacity) }
+        Dataset {
+            dim,
+            data: Vec::with_capacity(dim * capacity),
+        }
     }
 
     /// Builds a dataset from a flat row-major buffer.
@@ -85,7 +91,10 @@ impl Dataset {
     /// dataset's.
     pub fn push(&mut self, point: &[f64]) -> Result<()> {
         if point.len() != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, got: point.len() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                got: point.len(),
+            });
         }
         self.data.extend_from_slice(point);
         Ok(())
@@ -132,7 +141,10 @@ impl Dataset {
     /// Appends every point of `other`. Errors on dimensionality mismatch.
     pub fn extend_from(&mut self, other: &Dataset) -> Result<()> {
         if other.dim != self.dim {
-            return Err(Error::DimensionMismatch { expected: self.dim, got: other.dim });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim,
+                got: other.dim,
+            });
         }
         self.data.extend_from_slice(&other.data);
         Ok(())
@@ -203,7 +215,13 @@ mod tests {
     fn push_rejects_wrong_dim() {
         let mut ds = Dataset::new(2);
         let err = ds.push(&[1.0]).unwrap_err();
-        assert!(matches!(err, Error::DimensionMismatch { expected: 2, got: 1 }));
+        assert!(matches!(
+            err,
+            Error::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 
     #[test]

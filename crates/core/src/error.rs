@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn display_dimension_mismatch() {
-        let e = Error::DimensionMismatch { expected: 2, got: 3 };
+        let e = Error::DimensionMismatch {
+            expected: 2,
+            got: 3,
+        };
         assert_eq!(e.to_string(), "dimension mismatch: expected 2, got 3");
     }
 
@@ -74,7 +77,10 @@ mod tests {
 
     #[test]
     fn parse_error_mentions_line() {
-        let e = Error::Parse { line: 7, message: "bad float".into() };
+        let e = Error::Parse {
+            line: 7,
+            message: "bad float".into(),
+        };
         assert!(e.to_string().contains("line 7"));
     }
 }

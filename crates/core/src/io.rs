@@ -71,11 +71,7 @@ pub fn read_text(path: &Path) -> Result<Dataset> {
             Some(d) => {
                 d.push(&row).map_err(|_| Error::Parse {
                     line: lineno + 1,
-                    message: format!(
-                        "row has {} values, expected {}",
-                        row.len(),
-                        d.dim()
-                    ),
+                    message: format!("row has {} values, expected {}", row.len(), d.dim()),
                 })?;
             }
         }
@@ -100,7 +96,10 @@ fn read_header(r: &mut impl Read) -> Result<(usize, usize)> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(Error::Parse { line: 0, message: "bad magic, not a DBS1 file".into() });
+        return Err(Error::Parse {
+            line: 0,
+            message: "bad magic, not a DBS1 file".into(),
+        });
     }
     let mut dim_buf = [0u8; 4];
     r.read_exact(&mut dim_buf)?;
@@ -109,7 +108,10 @@ fn read_header(r: &mut impl Read) -> Result<(usize, usize)> {
     let dim = u32::from_le_bytes(dim_buf) as usize;
     let len = u64::from_le_bytes(len_buf) as usize;
     if dim == 0 {
-        return Err(Error::Parse { line: 0, message: "header declares dim 0".into() });
+        return Err(Error::Parse {
+            line: 0,
+            message: "header declares dim 0".into(),
+        });
     }
     Ok((dim, len))
 }
@@ -142,7 +144,11 @@ impl FileSource {
     pub fn open(path: &Path) -> Result<Self> {
         let mut r = BufReader::new(File::open(path)?);
         let (dim, len) = read_header(&mut r)?;
-        Ok(FileSource { path: path.to_path_buf(), dim, len })
+        Ok(FileSource {
+            path: path.to_path_buf(),
+            dim,
+            len,
+        })
     }
 }
 
@@ -159,7 +165,10 @@ impl PointSource for FileSource {
         let mut r = BufReader::with_capacity(1 << 16, File::open(&self.path)?);
         let (dim, len) = read_header(&mut r)?;
         if dim != self.dim || len != self.len {
-            return Err(Error::Parse { line: 0, message: "file changed since open".into() });
+            return Err(Error::Parse {
+                line: 0,
+                message: "file changed since open".into(),
+            });
         }
         let mut point = vec![0.0f64; dim];
         let mut buf = [0u8; 8];
@@ -212,7 +221,10 @@ mod tests {
     fn text_rejects_ragged_rows() {
         let path = tmp("ragged.txt");
         std::fs::write(&path, "1 2\n3 4 5\n").unwrap();
-        assert!(matches!(read_text(&path), Err(Error::Parse { line: 2, .. })));
+        assert!(matches!(
+            read_text(&path),
+            Err(Error::Parse { line: 2, .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 

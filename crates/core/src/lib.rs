@@ -22,6 +22,9 @@
 //!   algorithms are expressed as "one pass to build the estimator, one or two
 //!   passes to sample"; implementing against this trait keeps that structure
 //!   honest for both in-memory and on-disk data.
+//! * [`par`] — the deterministic parallel executor every multi-threaded code
+//!   path uses: fixed chunk grids and chunk-ordered merging make results
+//!   independent of the thread count.
 
 // Numeric-kernel loops in this crate index several parallel slices at once,
 // and NaN-rejecting guards are written as negated comparisons on purpose.
@@ -32,6 +35,7 @@ pub mod error;
 pub mod io;
 pub mod metric;
 pub mod normalize;
+pub mod par;
 pub mod rng;
 pub mod scan;
 pub mod stats;

@@ -24,9 +24,11 @@ impl Metric {
         match self {
             Metric::Euclidean => euclidean_sq(a, b).sqrt(),
             Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
-            Metric::Chebyshev => {
-                a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
-            }
+            Metric::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
         }
     }
 

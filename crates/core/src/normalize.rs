@@ -22,9 +22,13 @@ impl MinMaxScaler {
     /// to the constant). Errors on an empty dataset.
     pub fn fit(data: &Dataset) -> Result<Self> {
         if data.is_empty() {
-            return Err(Error::InvalidParameter("cannot fit scaler on empty dataset".into()));
+            return Err(Error::InvalidParameter(
+                "cannot fit scaler on empty dataset".into(),
+            ));
         }
-        let bb = data.bounding_box().expect("non-empty dataset has a bounding box");
+        let bb = data
+            .bounding_box()
+            .expect("non-empty dataset has a bounding box");
         let mins = bb.min().to_vec();
         let ranges = (0..data.dim())
             .map(|j| {
@@ -63,7 +67,10 @@ impl MinMaxScaler {
     /// Returns a copy of `data` scaled into `[0,1]^d`.
     pub fn transform(&self, data: &Dataset) -> Result<Dataset> {
         if data.dim() != self.dim() {
-            return Err(Error::DimensionMismatch { expected: self.dim(), got: data.dim() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                got: data.dim(),
+            });
         }
         let mut out = data.clone();
         for i in 0..out.len() {
@@ -75,7 +82,10 @@ impl MinMaxScaler {
     /// Returns a copy of `data` mapped back to original coordinates.
     pub fn inverse(&self, data: &Dataset) -> Result<Dataset> {
         if data.dim() != self.dim() {
-            return Err(Error::DimensionMismatch { expected: self.dim(), got: data.dim() });
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                got: data.dim(),
+            });
         }
         let mut out = data.clone();
         for i in 0..out.len() {
@@ -98,8 +108,7 @@ mod tests {
 
     #[test]
     fn fit_transform_lands_in_unit_cube() {
-        let ds =
-            Dataset::from_rows(&[vec![10.0, -5.0], vec![20.0, 5.0], vec![15.0, 0.0]]).unwrap();
+        let ds = Dataset::from_rows(&[vec![10.0, -5.0], vec![20.0, 5.0], vec![15.0, 0.0]]).unwrap();
         let (scaled, _) = MinMaxScaler::fit_transform(&ds).unwrap();
         for p in scaled.iter() {
             for &x in p {

@@ -1,0 +1,353 @@
+//! Deterministic parallel execution over [`PointSource`]s.
+//!
+//! Every multi-threaded code path in the workspace goes through this module,
+//! and all of it obeys one contract: **the result is a pure function of the
+//! input and the algorithm's seed — never of the thread count or the
+//! scheduler.** Concretely:
+//!
+//! * Work is split into fixed-size chunks of [`CHUNK_POINTS`] consecutive
+//!   points. The chunk grid depends only on the dataset length, not on the
+//!   number of threads.
+//! * Worker threads grab chunks from a shared cursor (so a slow chunk does
+//!   not stall the others), but results are merged **in chunk order**, and
+//!   within a chunk points are processed in index order.
+//! * Floating-point reductions that must match a streaming left-to-right
+//!   fold use [`par_map`] (collect per-point values, fold the vector
+//!   serially); [`par_map_reduce`] reorders the fold at chunk boundaries and
+//!   is reserved for exactly-associative operations (integer sums, min/max).
+//!
+//! Under this contract `parallelism = 1` and `parallelism = 64` produce
+//! bit-identical results, so callers expose a single
+//! [`std::num::NonZeroUsize`] knob and tests can assert equality outright
+//! (see `tests/parallel_parity.rs` at the workspace root).
+//!
+//! Sources are never shared across threads: the executor borrows the backing
+//! [`Dataset`] via [`PointSource::as_dataset`] when one exists, and
+//! otherwise materializes the source with one (pass-counted) sequential
+//! scan. Only the resulting `&Dataset` — which is `Sync` — crosses thread
+//! boundaries, so `PointSource` implementations need no thread-safety of
+//! their own.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::dataset::Dataset;
+use crate::error::Result;
+use crate::scan::PointSource;
+
+/// Points per work chunk. Fixed — *never* derived from the thread count —
+/// so the chunk grid (and therefore any chunk-ordered merge) is identical
+/// for every parallelism level.
+pub const CHUNK_POINTS: usize = 4096;
+
+/// The machine's available parallelism, the default for every `parallelism`
+/// knob in the workspace. Falls back to 1 where the platform cannot tell.
+pub fn available_parallelism() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// The serial execution level (`parallelism = 1`).
+pub fn serial() -> NonZeroUsize {
+    NonZeroUsize::MIN
+}
+
+/// Borrows the dataset behind `source`, or buffers it with one sequential
+/// scan (counted by pass-counting wrappers) when there is none.
+fn backing_dataset<S: PointSource + ?Sized>(source: &S) -> Result<std::borrow::Cow<'_, Dataset>> {
+    match source.as_dataset() {
+        Some(ds) => Ok(std::borrow::Cow::Borrowed(ds)),
+        None => Ok(std::borrow::Cow::Owned(source.collect_dataset()?)),
+    }
+}
+
+/// The chunked parallel scan: applies `per_chunk` to every chunk of
+/// [`CHUNK_POINTS`] consecutive point indices and returns the results in
+/// chunk order. `per_chunk` receives the chunk's index range and the
+/// backing dataset.
+///
+/// This is the primitive under [`par_map`] and friends; call it directly
+/// when a single pass must produce several things at once (e.g. sampled
+/// points *and* a clip count), merging the per-chunk values yourself — in
+/// chunk order for order-sensitive data, any-order only for exactly
+/// commutative combines.
+pub fn par_scan<S, T, F>(source: &S, threads: NonZeroUsize, per_chunk: F) -> Result<Vec<T>>
+where
+    S: PointSource + ?Sized,
+    T: Send,
+    F: Fn(Range<usize>, &Dataset) -> T + Sync,
+{
+    scan_chunks(source, threads, CHUNK_POINTS, per_chunk)
+}
+
+/// [`par_scan`] with an explicit chunk size (kept non-public: a caller-chosen
+/// chunk size would let two call sites disagree on the chunk grid; tests use
+/// it to exercise multi-chunk merging on small data).
+fn scan_chunks<S, T, F>(
+    source: &S,
+    threads: NonZeroUsize,
+    chunk_points: usize,
+    per_chunk: F,
+) -> Result<Vec<T>>
+where
+    S: PointSource + ?Sized,
+    T: Send,
+    F: Fn(Range<usize>, &Dataset) -> T + Sync,
+{
+    let ds = backing_dataset(source)?;
+    let ds: &Dataset = &ds;
+    let n = ds.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let chunk_points = chunk_points.max(1);
+    let chunks = n.div_ceil(chunk_points);
+    let chunk_range = |c: usize| c * chunk_points..((c + 1) * chunk_points).min(n);
+
+    let workers = threads.get().min(chunks);
+    if workers == 1 {
+        // In-thread fast path; identical to the threaded path by
+        // construction (same chunk grid, same in-chunk order, chunk-ordered
+        // merge).
+        return Ok((0..chunks).map(|c| per_chunk(chunk_range(c), ds)).collect());
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(chunks));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    return;
+                }
+                let out = per_chunk(chunk_range(c), ds);
+                slots
+                    .lock()
+                    .expect("no poisoned chunk collector")
+                    .push((c, out));
+            });
+        }
+    });
+    let mut slots = slots.into_inner().expect("workers joined");
+    slots.sort_unstable_by_key(|&(c, _)| c);
+    debug_assert_eq!(slots.len(), chunks);
+    Ok(slots.into_iter().map(|(_, t)| t).collect())
+}
+
+/// Applies `map(index, point)` to every point and returns the results in
+/// point order — the parallel equivalent of a sequential scan that pushes
+/// one value per point.
+///
+/// Identical output for every `threads` value. For a floating-point
+/// reduction that must match a streaming fold bit-for-bit, call this and
+/// fold the returned vector serially.
+pub fn par_map<S, T, F>(source: &S, threads: NonZeroUsize, map: F) -> Result<Vec<T>>
+where
+    S: PointSource + ?Sized,
+    T: Send,
+    F: Fn(usize, &[f64]) -> T + Sync,
+{
+    let nested = scan_chunks(source, threads, CHUNK_POINTS, |range, ds| {
+        range.map(|i| map(i, ds.point(i))).collect::<Vec<T>>()
+    })?;
+    Ok(nested.into_iter().flatten().collect())
+}
+
+/// Like [`par_map`], keeping only points where `map` returns `Some` —
+/// output preserves point order regardless of thread count.
+pub fn par_filter_map<S, T, F>(source: &S, threads: NonZeroUsize, map: F) -> Result<Vec<T>>
+where
+    S: PointSource + ?Sized,
+    T: Send,
+    F: Fn(usize, &[f64]) -> Option<T> + Sync,
+{
+    let nested = scan_chunks(source, threads, CHUNK_POINTS, |range, ds| {
+        range
+            .filter_map(|i| map(i, ds.point(i)))
+            .collect::<Vec<T>>()
+    })?;
+    Ok(nested.into_iter().flatten().collect())
+}
+
+/// Maps every point to an accumulator and reduces: in index order within a
+/// chunk, then across chunks in chunk order, both starting from `identity`.
+///
+/// Deterministic for every thread count (the chunk grid is fixed), and
+/// exactly equal to the plain sequential fold whenever `reduce` is truly
+/// associative with `identity` as a unit — integer sums and counts,
+/// min/max, set unions. For floating-point sums the chunk-boundary
+/// regrouping changes rounding relative to a streaming fold; when that
+/// matters use [`par_map`] plus a serial fold instead.
+pub fn par_map_reduce<S, A, M, R>(
+    source: &S,
+    threads: NonZeroUsize,
+    identity: A,
+    map: M,
+    reduce: R,
+) -> Result<A>
+where
+    S: PointSource + ?Sized,
+    A: Send + Sync + Clone,
+    M: Fn(usize, &[f64]) -> A + Sync,
+    R: Fn(A, A) -> A + Sync,
+{
+    let per_chunk = scan_chunks(source, threads, CHUNK_POINTS, |range, ds| {
+        range.fold(identity.clone(), |acc, i| reduce(acc, map(i, ds.point(i))))
+    })?;
+    Ok(per_chunk.into_iter().fold(identity, &reduce))
+}
+
+/// Runs `task(index)` for every index in `0..count` and returns the results
+/// in index order. For index-driven parallel loops that are not scans of a
+/// `PointSource` (e.g. per-point queries against a spatial structure).
+/// Indices are distributed in [`CHUNK_POINTS`] blocks, so per-index work
+/// should be small and uniform-ish; for a handful of coarse units use
+/// [`par_tasks`].
+pub fn par_indices<T, F>(count: usize, threads: NonZeroUsize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    indices_chunked(count, threads, CHUNK_POINTS, task)
+}
+
+/// [`par_indices`] with one index per work unit — for few, coarse,
+/// possibly unequal tasks (e.g. building kd-subtrees), where block
+/// distribution would serialize them.
+pub fn par_tasks<T, F>(count: usize, threads: NonZeroUsize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    indices_chunked(count, threads, 1, task)
+}
+
+fn indices_chunked<T, F>(count: usize, threads: NonZeroUsize, chunk: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let chunks = count.div_ceil(chunk);
+    let chunk_range = |c: usize| c * chunk..((c + 1) * chunk).min(count);
+    let workers = threads.get().min(chunks);
+    if workers == 1 {
+        return (0..count).map(&task).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::with_capacity(chunks));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    return;
+                }
+                let out: Vec<T> = chunk_range(c).map(&task).collect();
+                slots
+                    .lock()
+                    .expect("no poisoned chunk collector")
+                    .push((c, out));
+            });
+        }
+    });
+    let mut slots = slots.into_inner().expect("workers joined");
+    slots.sort_unstable_by_key(|&(c, _)| c);
+    slots.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::PassCounter;
+
+    fn numbered(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, -(i as f64)]).collect();
+        Dataset::from_rows(&rows).unwrap()
+    }
+
+    fn t(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn par_map_matches_serial_scan_for_every_thread_count() {
+        let ds = numbered(100);
+        let mut serial = Vec::new();
+        ds.scan(&mut |i, p| serial.push(i as f64 + p[0])).unwrap();
+        for threads in [1, 2, 7] {
+            let got = par_map(&ds, t(threads), |i, p| i as f64 + p[0]).unwrap();
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn multi_chunk_merge_preserves_index_order() {
+        // Chunks smaller than the dataset so the merge path is exercised.
+        let ds = numbered(1000);
+        for threads in [1, 3, 8] {
+            let nested =
+                scan_chunks(&ds, t(threads), 64, |range, _| range.collect::<Vec<_>>()).unwrap();
+            let flat: Vec<usize> = nested.into_iter().flatten().collect();
+            assert_eq!(flat, (0..1000).collect::<Vec<_>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_filter_map_preserves_order() {
+        let ds = numbered(300);
+        let evens = par_filter_map(&ds, t(4), |i, _| (i % 2 == 0).then_some(i)).unwrap();
+        assert_eq!(evens, (0..300).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_reduce_counts_exactly() {
+        let ds = numbered(10_000);
+        let serial = ds
+            .iter()
+            .filter(|p| (p[0] as usize).is_multiple_of(3))
+            .count();
+        for threads in [1, 2, 7] {
+            let got = par_map_reduce(
+                &ds,
+                t(threads),
+                0usize,
+                |_, p| usize::from((p[0] as usize).is_multiple_of(3)),
+                |a, b| a + b,
+            )
+            .unwrap();
+            assert_eq!(got, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn counted_sources_pay_exactly_one_pass() {
+        let ds = numbered(50);
+        let counted = PassCounter::new(&ds);
+        let vals = par_map(&counted, t(4), |_, p| p[0]).unwrap();
+        assert_eq!(vals.len(), 50);
+        assert_eq!(counted.passes(), 1, "buffering the source is one pass");
+    }
+
+    #[test]
+    fn empty_source_yields_empty() {
+        let ds = Dataset::new(3);
+        assert!(par_map(&ds, t(4), |i, _| i).unwrap().is_empty());
+        assert_eq!(
+            par_map_reduce(&ds, t(2), 7usize, |_, _| 1, |a, b| a + b).unwrap(),
+            7
+        );
+    }
+
+    #[test]
+    fn par_indices_matches_serial_loop() {
+        let serial: Vec<usize> = (0..500).map(|i| i * i).collect();
+        for threads in [1, 2, 7] {
+            assert_eq!(par_indices(500, t(threads), |i| i * i), serial);
+        }
+    }
+}

@@ -22,11 +22,22 @@ pub fn seeded(seed: u64) -> DbsRng {
 /// streams (e.g. one per cluster in a generator) use
 /// `seeded(sub_seed(seed, i))`.
 pub fn sub_seed(seed: u64, stream: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` fully determined by `(seed, key)`.
+///
+/// This is the per-point randomness primitive for parallel algorithms: the
+/// draw for point `key` depends only on the seed and the point's index, not
+/// on scan order or thread schedule, so serial and parallel runs make
+/// identical accept/reject decisions. The 53 high bits of [`sub_seed`]
+/// become the mantissa, the same `[0, 1)` mapping the workspace generator
+/// uses for `f64`.
+pub fn keyed_unit(seed: u64, key: u64) -> f64 {
+    (sub_seed(seed, key) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// Draws a standard-normal variate via the Box–Muller transform.
@@ -88,6 +99,22 @@ mod tests {
         assert_ne!(s0, s2);
         // And they are stable.
         assert_eq!(s0, sub_seed(7, 0));
+    }
+
+    #[test]
+    fn keyed_unit_is_stable_and_uniform() {
+        assert_eq!(keyed_unit(9, 100), keyed_unit(9, 100));
+        assert_ne!(keyed_unit(9, 100), keyed_unit(9, 101));
+        assert_ne!(keyed_unit(9, 100), keyed_unit(10, 100));
+        let n = 100_000u64;
+        let mut mean = 0.0;
+        for i in 0..n {
+            let u = keyed_unit(1234, i);
+            assert!((0.0..1.0).contains(&u));
+            mean += u;
+        }
+        mean /= n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
     }
 
     #[test]

@@ -34,9 +34,21 @@ pub trait PointSource {
     fn collect_dataset(&self) -> Result<Dataset> {
         let mut ds = Dataset::with_capacity(self.dim(), self.len());
         self.scan(&mut |_, p| {
-            ds.push(p).expect("scan yields points of declared dimension");
+            ds.push(p)
+                .expect("scan yields points of declared dimension");
         })?;
         Ok(ds)
+    }
+
+    /// The in-memory [`Dataset`] backing this source, if there is one.
+    ///
+    /// The parallel executor ([`crate::par`]) uses this to read points by
+    /// index without buffering. Sources without random-access backing —
+    /// files, and deliberately [`PassCounter`] (so a buffering executor
+    /// still pays one honest counted pass) — return `None` and are
+    /// materialized via [`PointSource::collect_dataset`].
+    fn as_dataset(&self) -> Option<&Dataset> {
+        None
     }
 }
 
@@ -55,6 +67,10 @@ impl PointSource for Dataset {
         }
         Ok(())
     }
+
+    fn as_dataset(&self) -> Option<&Dataset> {
+        Some(self)
+    }
 }
 
 /// A counter that records how many full passes an algorithm performed over a
@@ -63,18 +79,23 @@ impl PointSource for Dataset {
 /// passes").
 pub struct PassCounter<'a, S: PointSource + ?Sized> {
     inner: &'a S,
-    passes: std::cell::Cell<usize>,
+    // Atomic (not `Cell`) so counted sources stay `Sync` and can be shared
+    // with the parallel executor.
+    passes: std::sync::atomic::AtomicUsize,
 }
 
 impl<'a, S: PointSource + ?Sized> PassCounter<'a, S> {
     /// Wraps `inner`, starting the pass count at zero.
     pub fn new(inner: &'a S) -> Self {
-        PassCounter { inner, passes: std::cell::Cell::new(0) }
+        PassCounter {
+            inner,
+            passes: std::sync::atomic::AtomicUsize::new(0),
+        }
     }
 
     /// Number of completed scans so far.
     pub fn passes(&self) -> usize {
-        self.passes.get()
+        self.passes.load(std::sync::atomic::Ordering::SeqCst)
     }
 }
 
@@ -89,9 +110,14 @@ impl<S: PointSource + ?Sized> PointSource for PassCounter<'_, S> {
 
     fn scan(&self, visit: &mut dyn FnMut(usize, &[f64])) -> Result<()> {
         self.inner.scan(visit)?;
-        self.passes.set(self.passes.get() + 1);
+        self.passes
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         Ok(())
     }
+
+    // Deliberately not forwarding `as_dataset`: a counted source must make
+    // every executor pay an observable `scan`, even when the inner source
+    // could hand out its buffer for free.
 }
 
 #[cfg(test)]

@@ -35,7 +35,11 @@ impl WeightedSample {
                 "sample weights must be positive and finite".into(),
             ));
         }
-        Ok(WeightedSample { points, weights, source_indices })
+        Ok(WeightedSample {
+            points,
+            weights,
+            source_indices,
+        })
     }
 
     /// A uniform sample: every weight is `n/b` where `n` is the source size

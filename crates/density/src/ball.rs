@@ -162,12 +162,21 @@ mod tests {
         let mut rng = seeded(5);
         let mut ds = Dataset::with_capacity(2, 1000);
         for _ in 0..1000 {
-            ds.push(&[0.5 + (rng.gen::<f64>() - 0.5) * 0.05, 0.5 + (rng.gen::<f64>() - 0.5) * 0.05])
-                .unwrap();
+            ds.push(&[
+                0.5 + (rng.gen::<f64>() - 0.5) * 0.05,
+                0.5 + (rng.gen::<f64>() - 0.5) * 0.05,
+            ])
+            .unwrap();
         }
-        let cfg = KdeConfig { domain: Some(BoundingBox::unit(2)), ..KdeConfig::with_centers(200) };
+        let cfg = KdeConfig {
+            domain: Some(BoundingBox::unit(2)),
+            ..KdeConfig::with_centers(200)
+        };
         let est = KernelDensityEstimator::fit_dataset(&ds, &cfg).unwrap();
-        let near = expected_neighbors(&est, &[0.5, 0.5], 0.2, 2000, 6);
+        // The blob occupies a few percent of the ball, so the integrand is
+        // spiky and the Monte-Carlo estimate needs a generous sample count
+        // to land within the ±15% band reliably.
+        let near = expected_neighbors(&est, &[0.5, 0.5], 0.2, 20_000, 6);
         let far = expected_neighbors(&est, &[0.05, 0.05], 0.02, 500, 7);
         assert!((near - 1000.0).abs() < 150.0, "near {near}");
         assert!(far < 5.0, "far {far}");

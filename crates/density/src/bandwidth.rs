@@ -39,12 +39,18 @@ impl Bandwidth {
         match self {
             Bandwidth::Scott => {
                 let factor = (n as f64).powf(-1.0 / (dim as f64 + 4.0));
-                sigmas.iter().map(|s| (s * factor).max(MIN_BANDWIDTH)).collect()
+                sigmas
+                    .iter()
+                    .map(|s| (s * factor).max(MIN_BANDWIDTH))
+                    .collect()
             }
             Bandwidth::Silverman => {
                 let factor = (4.0 / (dim as f64 + 2.0)).powf(1.0 / (dim as f64 + 4.0))
                     * (n as f64).powf(-1.0 / (dim as f64 + 4.0));
-                sigmas.iter().map(|s| (s * factor).max(MIN_BANDWIDTH)).collect()
+                sigmas
+                    .iter()
+                    .map(|s| (s * factor).max(MIN_BANDWIDTH))
+                    .collect()
             }
             Bandwidth::Fixed(h) => {
                 assert!(*h > 0.0, "fixed bandwidth must be positive");
@@ -89,7 +95,10 @@ mod tests {
 
     #[test]
     fn fixed_and_per_dim() {
-        assert_eq!(Bandwidth::Fixed(0.05).resolve(&[9.0, 9.0], 10, 2), vec![0.05, 0.05]);
+        assert_eq!(
+            Bandwidth::Fixed(0.05).resolve(&[9.0, 9.0], 10, 2),
+            vec![0.05, 0.05]
+        );
         assert_eq!(
             Bandwidth::PerDim(vec![0.1, 0.2]).resolve(&[9.0, 9.0], 10, 2),
             vec![0.1, 0.2]

@@ -33,13 +33,20 @@ impl GridEstimator {
         res: usize,
     ) -> Result<Self> {
         if res == 0 {
-            return Err(Error::InvalidParameter("grid resolution must be >= 1".into()));
+            return Err(Error::InvalidParameter(
+                "grid resolution must be >= 1".into(),
+            ));
         }
         if source.is_empty() {
-            return Err(Error::InvalidParameter("cannot fit grid on empty source".into()));
+            return Err(Error::InvalidParameter(
+                "cannot fit grid on empty source".into(),
+            ));
         }
         if domain.dim() != source.dim() {
-            return Err(Error::DimensionMismatch { expected: source.dim(), got: domain.dim() });
+            return Err(Error::DimensionMismatch {
+                expected: source.dim(),
+                got: domain.dim(),
+            });
         }
         let dim = source.dim();
         let total = res
@@ -52,7 +59,11 @@ impl GridEstimator {
         source.scan(&mut |_, p| {
             let mut cell = 0usize;
             for j in 0..dim {
-                let rel = if extents[j] > 0.0 { (p[j] - dmin[j]) / extents[j] } else { 0.0 };
+                let rel = if extents[j] > 0.0 {
+                    (p[j] - dmin[j]) / extents[j]
+                } else {
+                    0.0
+                };
                 let c = ((rel * res as f64) as isize).clamp(0, res as isize - 1) as usize;
                 cell = cell * res + c;
             }
@@ -68,7 +79,13 @@ impl GridEstimator {
                 }
             })
             .product();
-        Ok(GridEstimator { domain, res, counts, n: source.len() as f64, cell_volume })
+        Ok(GridEstimator {
+            domain,
+            res,
+            counts,
+            n: source.len() as f64,
+            cell_volume,
+        })
     }
 
     /// Number of cells per dimension.
@@ -86,7 +103,11 @@ impl GridEstimator {
         let mut cell = 0usize;
         for j in 0..dim {
             let extent = self.domain.extent(j);
-            let rel = if extent > 0.0 { (x[j] - self.domain.min()[j]) / extent } else { 0.0 };
+            let rel = if extent > 0.0 {
+                (x[j] - self.domain.min()[j]) / extent
+            } else {
+                0.0
+            };
             let c = ((rel * self.res as f64) as isize).clamp(0, self.res as isize - 1) as usize;
             cell = cell * self.res + c;
         }
@@ -213,17 +234,14 @@ mod tests {
         let got = est.integrate_box(&bbox);
         let truth = ds
             .iter()
-            .filter(|p| {
-                p[0] >= 0.2 && p[0] < 0.6 && p[1] >= 0.3 && p[1] < 0.8
-            })
+            .filter(|p| p[0] >= 0.2 && p[0] < 0.6 && p[1] >= 0.3 && p[1] < 0.8)
             .count() as f64;
         assert!((got - truth).abs() < 1e-6, "got {got} truth {truth}");
     }
 
     #[test]
     fn density_reflects_cell_count() {
-        let ds = Dataset::from_rows(&[vec![0.05, 0.05], vec![0.06, 0.04], vec![0.9, 0.9]])
-            .unwrap();
+        let ds = Dataset::from_rows(&[vec![0.05, 0.05], vec![0.06, 0.04], vec![0.9, 0.9]]).unwrap();
         let est = GridEstimator::fit(&ds, BoundingBox::unit(2), 10).unwrap();
         // Cell (0,0) holds 2 points, volume 0.01 -> density 200.
         assert!((est.density(&[0.05, 0.05]) - 200.0).abs() < 1e-9);

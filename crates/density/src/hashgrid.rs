@@ -47,13 +47,20 @@ impl HashGridEstimator {
         table_slots: usize,
     ) -> Result<Self> {
         if res == 0 || table_slots == 0 {
-            return Err(Error::InvalidParameter("res and table_slots must be >= 1".into()));
+            return Err(Error::InvalidParameter(
+                "res and table_slots must be >= 1".into(),
+            ));
         }
         if source.is_empty() {
-            return Err(Error::InvalidParameter("cannot fit hash grid on empty source".into()));
+            return Err(Error::InvalidParameter(
+                "cannot fit hash grid on empty source".into(),
+            ));
         }
         if domain.dim() != source.dim() {
-            return Err(Error::DimensionMismatch { expected: source.dim(), got: domain.dim() });
+            return Err(Error::DimensionMismatch {
+                expected: source.dim(),
+                got: domain.dim(),
+            });
         }
         let dim = source.dim();
         // Virtual cell count may overflow usize in high dimensions; use u64
@@ -66,7 +73,11 @@ impl HashGridEstimator {
         source.scan(&mut |_, p| {
             let mut cell: u64 = 0;
             for j in 0..dim {
-                let rel = if extents[j] > 0.0 { (p[j] - dmin[j]) / extents[j] } else { 0.0 };
+                let rel = if extents[j] > 0.0 {
+                    (p[j] - dmin[j]) / extents[j]
+                } else {
+                    0.0
+                };
                 let c = ((rel * res as f64) as i64).clamp(0, res as i64 - 1) as u64;
                 cell = cell.wrapping_mul(res as u64).wrapping_add(c);
             }
@@ -119,7 +130,11 @@ impl HashGridEstimator {
         let mut cell: u64 = 0;
         for j in 0..dim {
             let extent = self.domain.extent(j);
-            let rel = if extent > 0.0 { (x[j] - self.domain.min()[j]) / extent } else { 0.0 };
+            let rel = if extent > 0.0 {
+                (x[j] - self.domain.min()[j]) / extent
+            } else {
+                0.0
+            };
             let c = ((rel * self.res as f64) as i64).clamp(0, self.res as i64 - 1) as u64;
             cell = cell.wrapping_mul(self.res as u64).wrapping_add(c);
         }
@@ -174,8 +189,7 @@ mod tests {
         let ds = uniform_dataset(500, 2, 1);
         // Huge table: collisions are unlikely to merge distinct populated
         // cells, but not impossible; allow retrying on collision-free seeds.
-        let hashed =
-            HashGridEstimator::fit(&ds, BoundingBox::unit(2), 8, 1 << 16).unwrap();
+        let hashed = HashGridEstimator::fit(&ds, BoundingBox::unit(2), 8, 1 << 16).unwrap();
         let plain = crate::grid::GridEstimator::fit(&ds, BoundingBox::unit(2), 8).unwrap();
         if hashed.collisions() == 0 {
             let mut rng = seeded(2);
@@ -190,7 +204,10 @@ mod tests {
     fn tiny_table_produces_collisions_and_overestimates() {
         let ds = uniform_dataset(5000, 3, 3);
         let hashed = HashGridEstimator::fit(&ds, BoundingBox::unit(3), 16, 32).unwrap();
-        assert!(hashed.collisions() > 0, "expected collisions with a 32-slot table");
+        assert!(
+            hashed.collisions() > 0,
+            "expected collisions with a 32-slot table"
+        );
         // Total mass read back from slots over-counts per cell because
         // multiple cells share counters; average density of queried points
         // must be >= the collision-free value.

@@ -56,7 +56,10 @@ impl KdeConfig {
     /// A config with `num_centers` kernels and everything else at the
     /// paper's defaults.
     pub fn with_centers(num_centers: usize) -> Self {
-        KdeConfig { num_centers, ..Default::default() }
+        KdeConfig {
+            num_centers,
+            ..Default::default()
+        }
     }
 }
 
@@ -90,7 +93,9 @@ impl KernelDensityEstimator {
         }
         let n = source.len();
         if n == 0 {
-            return Err(Error::InvalidParameter("cannot fit KDE on empty source".into()));
+            return Err(Error::InvalidParameter(
+                "cannot fit KDE on empty source".into(),
+            ));
         }
         let dim = source.dim();
         let ks = config.num_centers.min(n);
@@ -127,8 +132,17 @@ impl KernelDensityEstimator {
         // must smooth at the 1000-point scale or it degenerates into spikes
         // with zero-density holes between centers.
         let bandwidths = config.bandwidth.resolve(&sigmas, ks, dim);
-        let domain = config.domain.clone().unwrap_or_else(|| BoundingBox::unit(dim));
-        Ok(Self::from_centers(reservoir, bandwidths, n as f64, config.kernel, domain))
+        let domain = config
+            .domain
+            .clone()
+            .unwrap_or_else(|| BoundingBox::unit(dim));
+        Ok(Self::from_centers(
+            reservoir,
+            bandwidths,
+            n as f64,
+            config.kernel,
+            domain,
+        ))
     }
 
     /// Convenience wrapper for in-memory datasets.
@@ -165,8 +179,15 @@ impl KernelDensityEstimator {
         domain: BoundingBox,
     ) -> Self {
         assert!(!centers.is_empty(), "need at least one kernel center");
-        assert_eq!(centers.dim(), bandwidths.len(), "one bandwidth per dimension");
-        assert!(bandwidths.iter().all(|&h| h > 0.0), "bandwidths must be positive");
+        assert_eq!(
+            centers.dim(),
+            bandwidths.len(),
+            "one bandwidth per dimension"
+        );
+        assert!(
+            bandwidths.iter().all(|&h| h > 0.0),
+            "bandwidths must be positive"
+        );
         assert!(n > 0.0, "represented dataset size must be positive");
         let ks = centers.len() as f64;
         let inv_bandwidths: Vec<f64> = bandwidths.iter().map(|h| 1.0 / h).collect();
@@ -183,8 +204,9 @@ impl KernelDensityEstimator {
                 .bounding_box()
                 .expect("centers non-empty")
                 .union(&domain);
-            let min_extent =
-                (0..dim).map(|j| grid_domain.extent(j)).fold(f64::INFINITY, f64::min);
+            let min_extent = (0..dim)
+                .map(|j| grid_domain.extent(j))
+                .fold(f64::INFINITY, f64::min);
             if prune_radius < 0.25 * min_extent {
                 let per_dim_from_radius = (min_extent / prune_radius).floor() as usize;
                 let cap = GridIndex::auto_resolution(centers.len(), dim, 1).max(1);
@@ -321,8 +343,15 @@ mod tests {
         let mut rng = seeded(seed);
         let mut ds = Dataset::with_capacity(2, n);
         for i in 0..n {
-            let (cx, cy) = if i < n * 9 / 10 { (0.25, 0.25) } else { (0.75, 0.75) };
-            let p = [cx + (rng.gen::<f64>() - 0.5) * 0.1, cy + (rng.gen::<f64>() - 0.5) * 0.1];
+            let (cx, cy) = if i < n * 9 / 10 {
+                (0.25, 0.25)
+            } else {
+                (0.75, 0.75)
+            };
+            let p = [
+                cx + (rng.gen::<f64>() - 0.5) * 0.1,
+                cy + (rng.gen::<f64>() - 0.5) * 0.1,
+            ];
             ds.push(&p).unwrap();
         }
         ds
@@ -373,7 +402,10 @@ mod tests {
         let ds = uniform_dataset(3000, 2, 5);
         let cfg = KdeConfig::with_centers(400);
         let est = KernelDensityEstimator::fit_dataset(&ds, &cfg).unwrap();
-        assert!(est.center_grid.is_some(), "expected pruning grid for Epanechnikov");
+        assert!(
+            est.center_grid.is_some(),
+            "expected pruning grid for Epanechnikov"
+        );
         // Rebuild the same estimator without a grid and compare densities.
         let no_grid = KernelDensityEstimator {
             center_grid: None,
@@ -391,7 +423,10 @@ mod tests {
     #[test]
     fn gaussian_kernel_has_no_grid_but_works() {
         let ds = uniform_dataset(1000, 2, 7);
-        let cfg = KdeConfig { kernel: Kernel::Gaussian, ..KdeConfig::with_centers(100) };
+        let cfg = KdeConfig {
+            kernel: Kernel::Gaussian,
+            ..KdeConfig::with_centers(100)
+        };
         let est = KernelDensityEstimator::fit_dataset(&ds, &cfg).unwrap();
         assert!(est.center_grid.is_none());
         let d = est.density(&[0.5, 0.5]);

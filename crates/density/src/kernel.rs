@@ -131,8 +131,12 @@ pub fn erf(x: f64) -> f64 {
 mod tests {
     use super::*;
 
-    const KERNELS: [Kernel; 4] =
-        [Kernel::Epanechnikov, Kernel::Gaussian, Kernel::Biweight, Kernel::Uniform];
+    const KERNELS: [Kernel; 4] = [
+        Kernel::Epanechnikov,
+        Kernel::Gaussian,
+        Kernel::Biweight,
+        Kernel::Uniform,
+    ];
 
     #[test]
     fn kernels_are_nonnegative_and_symmetric() {
@@ -140,7 +144,10 @@ mod tests {
             for i in 0..200 {
                 let u = -2.0 + i as f64 * 0.02;
                 assert!(k.eval(u) >= 0.0, "{k:?} negative at {u}");
-                assert!((k.eval(u) - k.eval(-u)).abs() < 1e-12, "{k:?} asymmetric at {u}");
+                assert!(
+                    (k.eval(u) - k.eval(-u)).abs() < 1e-12,
+                    "{k:?} asymmetric at {u}"
+                );
             }
         }
     }
@@ -158,7 +165,10 @@ mod tests {
                 acc += k.eval(lo + i as f64 * h);
             }
             let integral = acc * h;
-            assert!((integral - 1.0).abs() < 1e-4, "{k:?} integrates to {integral}");
+            assert!(
+                (integral - 1.0).abs() < 1e-4,
+                "{k:?} integrates to {integral}"
+            );
         }
     }
 
@@ -174,7 +184,10 @@ mod tests {
                 acc += k.eval(u) * h;
                 if i % 20_000 == 0 {
                     let want = k.cdf(u + 0.5 * h);
-                    assert!((acc - want).abs() < 1e-3, "{k:?} cdf mismatch at {u}: {acc} vs {want}");
+                    assert!(
+                        (acc - want).abs() < 1e-3,
+                        "{k:?} cdf mismatch at {u}: {acc} vs {want}"
+                    );
                 }
             }
         }

@@ -41,5 +41,5 @@ pub use grid::GridEstimator;
 pub use hashgrid::HashGridEstimator;
 pub use kde::{KdeConfig, KernelDensityEstimator};
 pub use kernel::Kernel;
-pub use traits::DensityEstimator;
+pub use traits::{batch_densities, DensityEstimator};
 pub use wavelet::WaveletEstimator;

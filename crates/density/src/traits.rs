@@ -1,6 +1,8 @@
 //! The estimator interface shared by all density backends.
 
-use dbs_core::BoundingBox;
+use std::num::NonZeroUsize;
+
+use dbs_core::{BoundingBox, PointSource, Result};
 
 /// A frequency-scaled density estimator over `[0,1]^d` (or any fixed box
 /// domain).
@@ -31,6 +33,37 @@ pub trait DensityEstimator {
     /// The average density of the domain: `n / volume(domain)`. Densities
     /// above this are "denser than average" in the sense of §2.2.
     fn average_density(&self) -> f64;
+
+    /// Densities of every point of `source`, in point order, evaluated with
+    /// up to `threads` worker threads.
+    ///
+    /// Delegates to [`batch_densities`], which maps
+    /// [`DensityEstimator::density`] over the source through the
+    /// deterministic executor (`dbs_core::par`): the output is identical
+    /// for every thread count and equal to a sequential scan evaluating one
+    /// point at a time. Excluded from `dyn DensityEstimator` vtables by the
+    /// `Sized` bound — dynamic callers use [`batch_densities`] directly.
+    fn densities<S: PointSource + ?Sized>(
+        &self,
+        source: &S,
+        threads: NonZeroUsize,
+    ) -> Result<Vec<f64>>
+    where
+        Self: Sized + Sync,
+    {
+        batch_densities(self, source, threads)
+    }
+}
+
+/// Batch density evaluation through the deterministic parallel executor —
+/// the free-function form of [`DensityEstimator::densities`], usable with
+/// unsized estimators (`dyn DensityEstimator + Sync`).
+pub fn batch_densities<E, S>(est: &E, source: &S, threads: NonZeroUsize) -> Result<Vec<f64>>
+where
+    E: DensityEstimator + Sync + ?Sized,
+    S: PointSource + ?Sized,
+{
+    dbs_core::par::par_map(source, threads, |_, x| est.density(x))
 }
 
 /// Quadrature resolution per dimension used by the default

@@ -43,13 +43,18 @@ impl WaveletEstimator {
         coefficients: usize,
     ) -> Result<Self> {
         if coefficients == 0 {
-            return Err(Error::InvalidParameter("need at least one coefficient".into()));
+            return Err(Error::InvalidParameter(
+                "need at least one coefficient".into(),
+            ));
         }
         if source.is_empty() {
             return Err(Error::InvalidParameter("cannot fit on empty source".into()));
         }
         if domain.dim() != source.dim() {
-            return Err(Error::DimensionMismatch { expected: source.dim(), got: domain.dim() });
+            return Err(Error::DimensionMismatch {
+                expected: source.dim(),
+                got: domain.dim(),
+            });
         }
         let dim = source.dim();
         let res = 1usize << levels;
@@ -65,7 +70,11 @@ impl WaveletEstimator {
         source.scan(&mut |_, p| {
             let mut cell = 0usize;
             for j in 0..dim {
-                let rel = if extents[j] > 0.0 { (p[j] - dmin[j]) / extents[j] } else { 0.0 };
+                let rel = if extents[j] > 0.0 {
+                    (p[j] - dmin[j]) / extents[j]
+                } else {
+                    0.0
+                };
                 let c = ((rel * res as f64) as isize).clamp(0, res as isize - 1) as usize;
                 cell = cell * res + c;
             }
@@ -80,12 +89,14 @@ impl WaveletEstimator {
         // Keep the m largest-magnitude coefficients.
         let kept = coefficients.min(total);
         if kept < total {
-            let mut magnitudes: Vec<(f64, usize)> =
-                cells.iter().enumerate().map(|(i, &v)| (v.abs(), i)).collect();
-            magnitudes
-                .select_nth_unstable_by(total - kept, |a, b| {
-                    a.0.partial_cmp(&b.0).expect("no NaN coefficients")
-                });
+            let mut magnitudes: Vec<(f64, usize)> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v.abs(), i))
+                .collect();
+            magnitudes.select_nth_unstable_by(total - kept, |a, b| {
+                a.0.partial_cmp(&b.0).expect("no NaN coefficients")
+            });
             // Everything before the pivot is among the smallest; zero them.
             for &(_, idx) in &magnitudes[..total - kept] {
                 cells[idx] = 0.0;
@@ -132,7 +143,11 @@ impl WaveletEstimator {
         let mut cell = 0usize;
         for j in 0..dim {
             let extent = self.domain.extent(j);
-            let rel = if extent > 0.0 { (x[j] - self.domain.min()[j]) / extent } else { 0.0 };
+            let rel = if extent > 0.0 {
+                (x[j] - self.domain.min()[j]) / extent
+            } else {
+                0.0
+            };
             let c = ((rel * self.res as f64) as isize).clamp(0, self.res as isize - 1) as usize;
             cell = cell * self.res + c;
         }
@@ -237,9 +252,16 @@ mod tests {
         let mut rng = seeded(seed);
         let mut ds = Dataset::with_capacity(2, n);
         for i in 0..n {
-            let (cx, cy) = if i < n / 2 { (0.25, 0.25) } else { (0.75, 0.75) };
-            ds.push(&[cx + (rng.gen::<f64>() - 0.5) * 0.2, cy + (rng.gen::<f64>() - 0.5) * 0.2])
-                .unwrap();
+            let (cx, cy) = if i < n / 2 {
+                (0.25, 0.25)
+            } else {
+                (0.75, 0.75)
+            };
+            ds.push(&[
+                cx + (rng.gen::<f64>() - 0.5) * 0.2,
+                cy + (rng.gen::<f64>() - 0.5) * 0.2,
+            ])
+            .unwrap();
         }
         ds
     }
@@ -260,8 +282,7 @@ mod tests {
     fn full_coefficients_equal_plain_histogram() {
         let ds = two_blobs(5000, 2);
         let levels = 4; // 16x16 grid, 256 coefficients
-        let wavelet =
-            WaveletEstimator::fit(&ds, BoundingBox::unit(2), levels, usize::MAX).unwrap();
+        let wavelet = WaveletEstimator::fit(&ds, BoundingBox::unit(2), levels, usize::MAX).unwrap();
         let grid = crate::grid::GridEstimator::fit(&ds, BoundingBox::unit(2), 16).unwrap();
         let mut rng = seeded(3);
         for _ in 0..100 {
@@ -281,7 +302,10 @@ mod tests {
         let est = WaveletEstimator::fit(&ds, BoundingBox::unit(2), 4, 26).unwrap();
         let dense = est.density(&[0.25, 0.25]);
         let empty = est.density(&[0.75, 0.25]);
-        assert!(dense > 5.0 * (empty + 1.0), "dense {dense} vs empty {empty}");
+        assert!(
+            dense > 5.0 * (empty + 1.0),
+            "dense {dense} vs empty {empty}"
+        );
     }
 
     #[test]

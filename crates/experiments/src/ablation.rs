@@ -22,11 +22,17 @@ use crate::Scale;
 pub fn exponent_sweep(scale: Scale, seed: u64) -> Result<Vec<(f64, usize, usize)>> {
     let n = scale.base_points();
     let noisy = {
-        let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(2, seed) };
+        let cfg = RectConfig {
+            total_points: n,
+            ..RectConfig::paper_standard(2, seed)
+        };
         with_noise_fraction(generate(&cfg, &SizeProfile::Equal)?, 0.5, seed ^ 0xe1)
     };
     let variable = {
-        let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(2, seed ^ 1) };
+        let cfg = RectConfig {
+            total_points: n,
+            ..RectConfig::paper_standard(2, seed ^ 1)
+        };
         with_noise_fraction(
             generate(&cfg, &SizeProfile::VariableDensity { ratio: 10.0 })?,
             0.1,
@@ -61,7 +67,10 @@ pub fn exponent_sweep(scale: Scale, seed: u64) -> Result<Vec<(f64, usize, usize)
 /// of the resulting sample size, across exponents.
 pub fn one_pass_accuracy(scale: Scale, seed: u64) -> Result<Vec<(f64, f64, f64)>> {
     let n = scale.base_points();
-    let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(2, seed) };
+    let cfg = RectConfig {
+        total_points: n,
+        ..RectConfig::paper_standard(2, seed)
+    };
     let synth = generate(&cfg, &SizeProfile::VariableDensity { ratio: 10.0 })?;
     let kde_cfg = KdeConfig {
         num_centers: scale.kernels(),
@@ -72,7 +81,7 @@ pub fn one_pass_accuracy(scale: Scale, seed: u64) -> Result<Vec<(f64, f64, f64)>
     let est = KernelDensityEstimator::fit_dataset(&synth.data, &kde_cfg)?;
     let mut rows = Vec::new();
     for &a in &[-0.5, 0.5, 1.0] {
-        let approx_k = estimate_normalizer(&est, a, 0.01);
+        let approx_k = estimate_normalizer(&est, a, 0.01, dbs_core::par::available_parallelism());
         let (_, stats) = density_biased_sample(
             &synth.data,
             &est,
@@ -93,12 +102,12 @@ pub fn one_pass_accuracy(scale: Scale, seed: u64) -> Result<Vec<(f64, f64, f64)>
 
 /// Kernel-function and bandwidth-rule ablation: found clusters on the
 /// noisy workload per (kernel, bandwidth) combination.
-pub fn kernel_bandwidth_ablation(
-    scale: Scale,
-    seed: u64,
-) -> Result<Vec<(String, String, usize)>> {
+pub fn kernel_bandwidth_ablation(scale: Scale, seed: u64) -> Result<Vec<(String, String, usize)>> {
     let n = scale.base_points();
-    let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(2, seed) };
+    let cfg = RectConfig {
+        total_points: n,
+        ..RectConfig::paper_standard(2, seed)
+    };
     let synth = with_noise_fraction(generate(&cfg, &SizeProfile::Equal)?, 0.4, seed ^ 0xab);
     run_kernel_bandwidth(&synth, scale, seed)
 }
@@ -136,7 +145,10 @@ fn run_kernel_bandwidth(
             let found = dbs_cluster::clusters_found(
                 &clustering.clusters,
                 &synth.regions,
-                &dbs_cluster::EvalConfig { margin: 0.01, ..Default::default() },
+                &dbs_cluster::EvalConfig {
+                    margin: 0.01,
+                    ..Default::default()
+                },
             );
             rows.push((kernel.name().to_string(), bw_name.to_string(), found));
         }
@@ -148,7 +160,10 @@ fn run_kernel_bandwidth(
 /// the exact grid histogram, and the collision-prone hash grid.
 pub fn backend_ablation(scale: Scale, seed: u64) -> Result<Vec<(String, usize)>> {
     let n = scale.base_points();
-    let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(2, seed) };
+    let cfg = RectConfig {
+        total_points: n,
+        ..RectConfig::paper_standard(2, seed)
+    };
     let synth = with_noise_fraction(generate(&cfg, &SizeProfile::Equal)?, 0.4, seed ^ 0xba);
     let b = synth.len() / 50;
     let domain = BoundingBox::unit(2);
@@ -162,10 +177,10 @@ pub fn backend_ablation(scale: Scale, seed: u64) -> Result<Vec<(String, usize)>>
     let kde = KernelDensityEstimator::fit_dataset(&synth.data, &kde_cfg)?;
     let grid = GridEstimator::fit(&synth.data, domain.clone(), 32)?;
     let hash = HashGridEstimator::fit(&synth.data, domain.clone(), 32, 64)?; // tiny table
-    // Wavelet summary with a budget comparable to the kernel count.
+                                                                             // Wavelet summary with a budget comparable to the kernel count.
     let wavelet = WaveletEstimator::fit(&synth.data, domain, 5, scale.kernels())?;
 
-    let evaluate = |est: &dyn DensityEstimator, tag: &str| -> Result<(String, usize)> {
+    let evaluate = |est: &(dyn DensityEstimator + Sync), tag: &str| -> Result<(String, usize)> {
         let (sample, _) = density_biased_sample(
             &synth.data,
             est,
@@ -178,7 +193,10 @@ pub fn backend_ablation(scale: Scale, seed: u64) -> Result<Vec<(String, usize)>>
         let found = dbs_cluster::clusters_found(
             &clustering.clusters,
             &synth.regions,
-            &dbs_cluster::EvalConfig { margin: 0.01, ..Default::default() },
+            &dbs_cluster::EvalConfig {
+                margin: 0.01,
+                ..Default::default()
+            },
         );
         Ok((tag.to_string(), found))
     };
@@ -199,25 +217,37 @@ pub fn render(scale: Scale, seed: u64) -> Result<String> {
     for (a, noisy, variable) in exponent_sweep(scale, seed)? {
         t.row(vec![f(a, 2), noisy.to_string(), variable.to_string()]);
     }
-    out.push_str(&format!("Exponent sweep (§4.4 trade-off):\n{}\n", t.render()));
+    out.push_str(&format!(
+        "Exponent sweep (§4.4 trade-off):\n{}\n",
+        t.render()
+    ));
 
     let mut t = Table::new(&["a", "normalizer rel err", "sample-size rel err"]);
     for (a, k_err, size_err) in one_pass_accuracy(scale, seed)? {
         t.row(vec![f(a, 2), pct(k_err), pct(size_err)]);
     }
-    out.push_str(&format!("One-pass normalizer approximation (§2.2):\n{}\n", t.render()));
+    out.push_str(&format!(
+        "One-pass normalizer approximation (§2.2):\n{}\n",
+        t.render()
+    ));
 
     let mut t = Table::new(&["kernel", "bandwidth", "found (of 10)"]);
     for (k, b, found) in kernel_bandwidth_ablation(scale, seed)? {
         t.row(vec![k, b, found.to_string()]);
     }
-    out.push_str(&format!("Kernel / bandwidth ablation (40% noise, a=1):\n{}\n", t.render()));
+    out.push_str(&format!(
+        "Kernel / bandwidth ablation (40% noise, a=1):\n{}\n",
+        t.render()
+    ));
 
     let mut t = Table::new(&["estimator backend", "found (of 10)"]);
     for (tag, found) in backend_ablation(scale, seed)? {
         t.row(vec![tag, found.to_string()]);
     }
-    out.push_str(&format!("Estimator backend ablation (40% noise, a=1):\n{}", t.render()));
+    out.push_str(&format!(
+        "Estimator backend ablation (40% noise, a=1):\n{}",
+        t.render()
+    ));
     Ok(out)
 }
 
@@ -230,7 +260,10 @@ mod tests {
         let rows = exponent_sweep(Scale::Quick, 43).unwrap();
         // a = 1 on the noisy dataset beats a = -1 (which samples noise).
         let a_of = |target: f64| {
-            rows.iter().find(|(a, _, _)| (*a - target).abs() < 1e-9).copied().unwrap()
+            rows.iter()
+                .find(|(a, _, _)| (*a - target).abs() < 1e-9)
+                .copied()
+                .unwrap()
         };
         let (_, noisy_pos, _) = a_of(1.0);
         let (_, noisy_neg, _) = a_of(-1.0);

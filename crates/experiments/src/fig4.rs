@@ -52,12 +52,7 @@ pub fn base_workload(dim: usize, scale: Scale, seed: u64) -> Result<SyntheticDat
 }
 
 /// Runs one panel: `dim` dimensions, sampling `sample_frac` of the total.
-pub fn run_panel(
-    dim: usize,
-    sample_frac: f64,
-    scale: Scale,
-    seed: u64,
-) -> Result<Vec<Fig4Row>> {
+pub fn run_panel(dim: usize, sample_frac: f64, scale: Scale, seed: u64) -> Result<Vec<Fig4Row>> {
     let base = base_workload(dim, scale, seed)?;
     let mut rows = Vec::new();
     for (li, &fn_level) in noise_levels(scale).iter().enumerate() {

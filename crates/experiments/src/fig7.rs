@@ -40,11 +40,17 @@ pub struct Fig7Row {
 pub fn run(scale: Scale, seed: u64) -> Result<Vec<Fig7Row>> {
     let n = scale.base_points();
     let ds1 = {
-        let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(2, seed) };
+        let cfg = RectConfig {
+            total_points: n,
+            ..RectConfig::paper_standard(2, seed)
+        };
         with_noise_fraction(generate(&cfg, &SizeProfile::Equal)?, 0.5, seed ^ 0x71)
     };
     let ds2 = {
-        let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(2, seed ^ 1) };
+        let cfg = RectConfig {
+            total_points: n,
+            ..RectConfig::paper_standard(2, seed ^ 1)
+        };
         with_noise_fraction(generate_zipf(&cfg, 1.0)?, 0.2, seed ^ 0x72)
     };
     let b = 500usize;
@@ -94,9 +100,17 @@ pub fn run(scale: Scale, seed: u64) -> Result<Vec<Fig7Row>> {
 /// Renders the report table.
 pub fn render(scale: Scale, seed: u64) -> Result<String> {
     let rows = run(scale, seed)?;
-    let mut t = Table::new(&["kernels", "DS1 (50% noise, a=1)", "DS2 (zipf, 20% noise, a=-0.25)"]);
+    let mut t = Table::new(&[
+        "kernels",
+        "DS1 (50% noise, a=1)",
+        "DS2 (zipf, 20% noise, a=-0.25)",
+    ]);
     for r in &rows {
-        t.row(vec![r.kernels.to_string(), r.ds1.to_string(), r.ds2.to_string()]);
+        t.row(vec![
+            r.kernels.to_string(),
+            r.ds1.to_string(),
+            r.ds2.to_string(),
+        ]);
     }
     Ok(format!(
         "Figure 7: found clusters (of 10) vs number of kernels, 500 sample points\n{}",

@@ -31,8 +31,8 @@ pub struct GeoRow {
 
 fn eval(name: &str, synth: &SyntheticDataset, scale: Scale, seed: u64) -> Result<GeoRow> {
     let b = synth.len() / 100; // 1% sample (the practitioner's-guide value)
-    // Look for a handful of clusters: the metros plus slack for secondary
-    // centers the clusterer may report.
+                               // Look for a handful of clusters: the metros plus slack for secondary
+                               // centers the clusterer may report.
     let k = synth.num_clusters() + 2;
     let reps = 3u64;
     let mut biased = 0usize;

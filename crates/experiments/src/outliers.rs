@@ -78,7 +78,10 @@ pub fn run(scale: Scale, seed: u64) -> Result<Vec<OutlierRow>> {
             // bandwidth of a dense cluster look populated to the density
             // model; the verification pass removes any false candidates,
             // so slack only costs verification work.
-            &ApproxConfig { slack: 10.0, ..ApproxConfig::new(params) },
+            &ApproxConfig {
+                slack: 10.0,
+                ..ApproxConfig::new(params)
+            },
         )?;
         let approx_secs = t0.elapsed().as_secs_f64();
 
@@ -107,8 +110,16 @@ pub fn run(scale: Scale, seed: u64) -> Result<Vec<OutlierRow>> {
 pub fn render(scale: Scale, seed: u64) -> Result<String> {
     let rows = run(scale, seed)?;
     let mut t = Table::new(&[
-        "dim", "n", "planted", "exact", "found", "true-pos", "candidates", "passes",
-        "approx s", "nested-loop s",
+        "dim",
+        "n",
+        "planted",
+        "exact",
+        "found",
+        "true-pos",
+        "candidates",
+        "passes",
+        "approx s",
+        "nested-loop s",
     ]);
     for r in &rows {
         t.row(vec![

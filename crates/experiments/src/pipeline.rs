@@ -99,7 +99,10 @@ impl PipelineOutcome {
 }
 
 /// Draws the configured sample from `synth`.
-pub fn draw_sample(synth: &SyntheticDataset, cfg: &PipelineConfig) -> Result<(WeightedSample, Duration, Duration)> {
+pub fn draw_sample(
+    synth: &SyntheticDataset,
+    cfg: &PipelineConfig,
+) -> Result<(WeightedSample, Duration, Duration)> {
     let dim = synth.data.dim();
     match cfg.sampler {
         Sampler::Uniform => {
@@ -169,9 +172,18 @@ pub fn run_sampled_clustering(
     let found = clusters_found(
         &clustering.clusters,
         &synth.regions,
-        &EvalConfig { margin: cfg.eval_margin, ..Default::default() },
+        &EvalConfig {
+            margin: cfg.eval_margin,
+            ..Default::default()
+        },
     );
-    Ok(PipelineOutcome { found, sample_len, estimator_time, sampling_time, clustering_time })
+    Ok(PipelineOutcome {
+        found,
+        sample_len,
+        estimator_time,
+        sampling_time,
+        clustering_time,
+    })
 }
 
 /// Runs BIRCH over the *entire* dataset with a CF-tree budget equal to
@@ -191,7 +203,10 @@ pub fn run_birch(
     let found = clusters_found_by_centers(
         &centers,
         &synth.regions,
-        &EvalConfig { margin: eval_margin, ..Default::default() },
+        &EvalConfig {
+            margin: eval_margin,
+            ..Default::default()
+        },
     );
     Ok((found, elapsed))
 }
@@ -203,7 +218,10 @@ mod tests {
     use dbs_synth::rect::{generate, RectConfig, SizeProfile};
 
     fn workload(seed: u64) -> SyntheticDataset {
-        let cfg = RectConfig { total_points: 10_000, ..RectConfig::paper_standard(2, seed) };
+        let cfg = RectConfig {
+            total_points: 10_000,
+            ..RectConfig::paper_standard(2, seed)
+        };
         generate(&cfg, &SizeProfile::Equal).unwrap()
     }
 

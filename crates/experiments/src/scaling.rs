@@ -29,7 +29,10 @@ pub struct ScalingRow {
 }
 
 fn measure(n: usize, kernels: usize, seed: u64) -> Result<f64> {
-    let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(2, seed) };
+    let cfg = RectConfig {
+        total_points: n,
+        ..RectConfig::paper_standard(2, seed)
+    };
     let synth = generate(&cfg, &SizeProfile::Equal)?;
     let t0 = Instant::now();
     let kde_cfg = KdeConfig {
@@ -57,7 +60,11 @@ pub fn run_size_sweep(scale: Scale, seed: u64) -> Result<Vec<ScalingRow>> {
         .into_iter()
         .map(|n| {
             let secs = measure(n, scale.kernels(), seed)?;
-            Ok(ScalingRow { x: n, secs, normalized: secs / n as f64 * 1e6 })
+            Ok(ScalingRow {
+                x: n,
+                secs,
+                normalized: secs / n as f64 * 1e6,
+            })
         })
         .collect()
 }
@@ -73,7 +80,11 @@ pub fn run_kernel_sweep(scale: Scale, seed: u64) -> Result<Vec<ScalingRow>> {
         .into_iter()
         .map(|ks| {
             let secs = measure(n, ks, seed)?;
-            Ok(ScalingRow { x: ks, secs, normalized: secs / ks as f64 * 1e6 })
+            Ok(ScalingRow {
+                x: ks,
+                secs,
+                normalized: secs / ks as f64 * 1e6,
+            })
         })
         .collect()
 }
@@ -85,7 +96,11 @@ pub fn render(scale: Scale, seed: u64) -> Result<String> {
     for r in run_size_sweep(scale, seed)? {
         t.row(vec![r.x.to_string(), f(r.secs, 3), f(r.normalized, 3)]);
     }
-    out.push_str(&format!("Dataset-size sweep ({} kernels):\n{}\n", scale.kernels(), t.render()));
+    out.push_str(&format!(
+        "Dataset-size sweep ({} kernels):\n{}\n",
+        scale.kernels(),
+        t.render()
+    ));
     let mut t = Table::new(&["kernels", "seconds", "µs/kernel"]);
     for r in run_kernel_sweep(scale, seed)? {
         t.row(vec![r.x.to_string(), f(r.secs, 3), f(r.normalized, 3)]);

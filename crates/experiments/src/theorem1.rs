@@ -19,13 +19,23 @@ pub const CASES: [(usize, usize, f64, f64); 6] = [
 
 /// Computes all rows.
 pub fn run() -> Vec<Theorem1Row> {
-    CASES.iter().map(|&(n, u, xi, delta)| theorem1_row(n, u, xi, delta)).collect()
+    CASES
+        .iter()
+        .map(|&(n, u, xi, delta)| theorem1_row(n, u, xi, delta))
+        .collect()
 }
 
 /// Renders the report table.
 pub fn render() -> String {
     let mut t = Table::new(&[
-        "n", "|u|", "xi", "delta", "uniform s", "uniform s/n", "biased p", "biased E[s]",
+        "n",
+        "|u|",
+        "xi",
+        "delta",
+        "uniform s",
+        "uniform s/n",
+        "biased p",
+        "biased E[s]",
     ]);
     for row in run() {
         t.row(vec![

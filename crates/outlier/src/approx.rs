@@ -14,7 +14,9 @@
 //! the pruning threshold trades candidate-set size against the risk of the
 //! density estimate smoothing an outlier away.
 
-use dbs_core::{BoundingBox, Dataset, Error, PointSource, Result};
+use std::num::NonZeroUsize;
+
+use dbs_core::{par, BoundingBox, Dataset, Error, PointSource, Result};
 use dbs_density::ball::expected_neighbors;
 use dbs_density::DensityEstimator;
 use dbs_spatial::GridIndex;
@@ -35,12 +37,23 @@ pub struct ApproxConfig {
     pub ball_samples: usize,
     /// Seed for the ball quadrature.
     pub seed: u64,
+    /// Worker threads for both detector passes. The ball quadrature is
+    /// seeded per point index and neighbor counts merge by integer
+    /// addition, so the report is identical for every value; `1` executes
+    /// serially.
+    pub parallelism: NonZeroUsize,
 }
 
 impl ApproxConfig {
-    /// Defaults: slack 3, 64 quadrature samples.
+    /// Defaults: slack 3, 64 quadrature samples, all available cores.
     pub fn new(params: DbOutlierParams) -> Self {
-        ApproxConfig { params, slack: 3.0, ball_samples: 64, seed: 0 }
+        ApproxConfig {
+            params,
+            slack: 3.0,
+            ball_samples: 64,
+            seed: 0,
+            parallelism: par::available_parallelism(),
+        }
     }
 }
 
@@ -87,14 +100,18 @@ pub fn approx_outliers<S, E>(
 ) -> Result<OutlierReport>
 where
     S: PointSource + ?Sized,
-    E: DensityEstimator + ?Sized,
+    E: DensityEstimator + Sync + ?Sized,
 {
     if source.dim() != estimator.dim() {
-        return Err(Error::DimensionMismatch { expected: estimator.dim(), got: source.dim() });
+        return Err(Error::DimensionMismatch {
+            expected: estimator.dim(),
+            got: source.dim(),
+        });
     }
     if !(config.slack >= 1.0) {
         return Err(Error::InvalidParameter("slack must be >= 1".into()));
     }
+    let threads = config.parallelism;
     let k = config.params.radius;
     let p = config.params.max_neighbors;
     let threshold = config.slack * (p as f64 + 1.0);
@@ -106,13 +123,15 @@ where
     // magnitude over the threshold — the kernel estimate is smooth at the
     // bandwidth scale, so the ball average cannot fall 1000x below the
     // center value for any plausible radius/bandwidth ratio.
+    //
+    // Each point's keep/drop decision depends only on its own index (the
+    // quadrature is seeded per index), so the pass parallelizes as a
+    // filter-map whose output is in point order for every thread count.
     let ball_vol = dbs_core::metric::ball_volume(source.dim(), k);
     let skip_above = 1000.0 * threshold;
-    let mut candidate_points = Dataset::with_capacity(source.dim(), 64);
-    let mut candidate_indices: Vec<usize> = Vec::new();
-    source.scan(&mut |i, x| {
+    let kept = par::par_filter_map(source, threads, |i, x| {
         if estimator.density(x) * ball_vol > skip_above {
-            return;
+            return None;
         }
         let expected = expected_neighbors(
             estimator,
@@ -121,16 +140,20 @@ where
             config.ball_samples,
             config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
-        if expected <= threshold {
-            candidate_points.push(x).expect("declared dimension");
-            candidate_indices.push(i);
-        }
+        (expected <= threshold).then(|| (i, x.to_vec()))
     })?;
-    let candidates = candidate_indices.len();
+    let candidates = kept.len();
+    let mut candidate_points = Dataset::with_capacity(source.dim(), candidates.max(1));
+    let mut candidate_indices: Vec<usize> = Vec::with_capacity(candidates);
+    for (i, x) in kept {
+        candidate_points.push(&x).expect("declared dimension");
+        candidate_indices.push(i);
+    }
 
     // Pass 2: count true neighbors of every candidate simultaneously in one
     // scan. A grid over the candidates finds which of them each data point
-    // is near.
+    // is near. Each chunk counts into its own table and the tables sum —
+    // integer addition, so the merged counts equal the serial scan's.
     let mut neighbor_counts = vec![0usize; candidates];
     if candidates > 0 {
         let grid_domain = candidate_points
@@ -140,16 +163,34 @@ where
         let res = GridIndex::auto_resolution(candidates.max(16), source.dim(), 4);
         let grid = GridIndex::build(&candidate_points, grid_domain, res);
         let r2 = k * k;
-        source.scan(&mut |i, x| {
-            grid.for_each_candidate_within(x, k, |ci| {
-                let ci = ci as usize;
-                if candidate_indices[ci] != i
-                    && dbs_core::metric::euclidean_sq(x, candidate_points.point(ci)) <= r2
-                {
-                    neighbor_counts[ci] += 1;
-                }
-            });
+        let candidate_points = &candidate_points;
+        let candidate_indices = &candidate_indices;
+        let per_chunk = par::par_scan(source, threads, |range, ds| {
+            let mut local = vec![0usize; candidates];
+            for i in range {
+                let x = ds.point(i);
+                grid.for_each_candidate_within(x, k, |ci| {
+                    let ci = ci as usize;
+                    if candidate_indices[ci] != i
+                        && dbs_core::metric::euclidean_sq(x, candidate_points.point(ci)) <= r2
+                    {
+                        local[ci] += 1;
+                    }
+                });
+            }
+            // Sparse hand-off keeps the merge cheap when chunks touch few
+            // candidates.
+            local
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, c)| c > 0)
+                .collect::<Vec<(usize, usize)>>()
         })?;
+        for chunk in per_chunk {
+            for (ci, c) in chunk {
+                neighbor_counts[ci] += c;
+            }
+        }
     }
 
     let outliers: Vec<usize> = candidate_indices
@@ -158,7 +199,11 @@ where
         .filter(|(_, &count)| count <= p)
         .map(|(&i, _)| i)
         .collect();
-    Ok(OutlierReport { outliers, candidates, passes: 2 })
+    Ok(OutlierReport {
+        outliers,
+        candidates,
+        passes: 2,
+    })
 }
 
 /// One-pass estimate of the *number* of DB(p,k) outliers in the dataset —
@@ -171,28 +216,34 @@ pub fn estimate_outlier_count<S, E>(
     params: &DbOutlierParams,
     ball_samples: usize,
     seed: u64,
+    threads: NonZeroUsize,
 ) -> Result<usize>
 where
     S: PointSource + ?Sized,
-    E: DensityEstimator + ?Sized,
+    E: DensityEstimator + Sync + ?Sized,
 {
     if source.dim() != estimator.dim() {
-        return Err(Error::DimensionMismatch { expected: estimator.dim(), got: source.dim() });
+        return Err(Error::DimensionMismatch {
+            expected: estimator.dim(),
+            got: source.dim(),
+        });
     }
-    let mut count = 0usize;
-    source.scan(&mut |i, x| {
-        let expected = expected_neighbors(
-            estimator,
-            x,
-            params.radius,
-            ball_samples,
-            seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        if expected <= params.max_neighbors as f64 + 1.0 {
-            count += 1;
-        }
-    })?;
-    Ok(count)
+    par::par_map_reduce(
+        source,
+        threads,
+        0usize,
+        |i, x| {
+            let expected = expected_neighbors(
+                estimator,
+                x,
+                params.radius,
+                ball_samples,
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            usize::from(expected <= params.max_neighbors as f64 + 1.0)
+        },
+        |a, b| a + b,
+    )
 }
 
 /// Convenience: fit a KDE on the data and run the full pipeline, returning
@@ -227,14 +278,27 @@ mod tests {
         let mut rng = seeded(seed);
         let mut ds = Dataset::with_capacity(2, 2006);
         for _ in 0..1000 {
-            ds.push(&[0.3 + (rng.gen::<f64>() - 0.5) * 0.12, 0.3 + (rng.gen::<f64>() - 0.5) * 0.12])
-                .unwrap();
+            ds.push(&[
+                0.3 + (rng.gen::<f64>() - 0.5) * 0.12,
+                0.3 + (rng.gen::<f64>() - 0.5) * 0.12,
+            ])
+            .unwrap();
         }
         for _ in 0..1000 {
-            ds.push(&[0.7 + (rng.gen::<f64>() - 0.5) * 0.12, 0.7 + (rng.gen::<f64>() - 0.5) * 0.12])
-                .unwrap();
+            ds.push(&[
+                0.7 + (rng.gen::<f64>() - 0.5) * 0.12,
+                0.7 + (rng.gen::<f64>() - 0.5) * 0.12,
+            ])
+            .unwrap();
         }
-        let outliers = [[0.05, 0.9], [0.9, 0.1], [0.05, 0.05], [0.95, 0.95], [0.5, 0.02], [0.02, 0.5]];
+        let outliers = [
+            [0.05, 0.9],
+            [0.9, 0.1],
+            [0.05, 0.05],
+            [0.95, 0.95],
+            [0.5, 0.02],
+            [0.02, 0.5],
+        ];
         let start = ds.len();
         for o in &outliers {
             ds.push(o).unwrap();
@@ -259,7 +323,11 @@ mod tests {
         let exact = nested_loop_outliers(&ds, &params);
         assert_eq!(report.outliers, exact);
         // Pruning must have done real work: far fewer candidates than n.
-        assert!(report.candidates < ds.len() / 4, "candidates {}", report.candidates);
+        assert!(
+            report.candidates < ds.len() / 4,
+            "candidates {}",
+            report.candidates
+        );
     }
 
     #[test]
@@ -304,7 +372,9 @@ mod tests {
         let (ds, truth) = planted(5);
         let params = DbOutlierParams::new(0.1, 3).unwrap();
         let est = kde(&ds);
-        let estimate = estimate_outlier_count(&ds, &est, &params, 64, 6).unwrap();
+        let estimate =
+            estimate_outlier_count(&ds, &est, &params, 64, 6, par::available_parallelism())
+                .unwrap();
         // The one-pass estimate should see roughly the planted outliers,
         // not hundreds of phantom ones.
         assert!(estimate >= truth.len() / 2, "estimate {estimate}");
@@ -315,9 +385,14 @@ mod tests {
     fn pipeline_helper_runs_end_to_end() {
         let (ds, truth) = planted(7);
         let params = DbOutlierParams::new(0.1, 3).unwrap();
-        let report =
-            approx_outliers_with_kde(&ds, &ApproxConfig::new(params), 500, Some(BoundingBox::unit(2)), 8)
-                .unwrap();
+        let report = approx_outliers_with_kde(
+            &ds,
+            &ApproxConfig::new(params),
+            500,
+            Some(BoundingBox::unit(2)),
+            8,
+        )
+        .unwrap();
         for t in &truth {
             assert!(report.outliers.contains(t));
         }

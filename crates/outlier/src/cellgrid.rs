@@ -46,13 +46,16 @@ pub fn cell_based_outliers(
     // Cells per dimension over the domain, capped to keep the grid dense
     // enough to be useful but bounded in memory.
     let max_extent = (0..d).map(|j| domain.extent(j)).fold(0.0f64, f64::max);
-    let res = ((max_extent / side).ceil() as usize).clamp(1, match d {
-        1 => 1 << 16,
-        2 => 2048,
-        3 => 128,
-        4 => 40,
-        _ => 16,
-    });
+    let res = ((max_extent / side).ceil() as usize).clamp(
+        1,
+        match d {
+            1 => 1 << 16,
+            2 => 2048,
+            3 => 128,
+            4 => 40,
+            _ => 16,
+        },
+    );
     let l1 = 1usize; // immediate ring
 
     // Bucket points by cell.
@@ -62,7 +65,11 @@ pub fn cell_based_outliers(
         let mut cell = 0usize;
         for j in 0..d {
             let extent = domain.extent(j);
-            let rel = if extent > 0.0 { (p[j] - domain.min()[j]) / extent } else { 0.0 };
+            let rel = if extent > 0.0 {
+                (p[j] - domain.min()[j]) / extent
+            } else {
+                0.0
+            };
             let c = ((rel * res as f64) as isize).clamp(0, res as isize - 1) as usize;
             cell = cell * res + c;
         }
@@ -75,7 +82,9 @@ pub fn cell_based_outliers(
     // If the grid is so coarse that cell-side guarantees break (clamped
     // resolution made cells wider than k/(2√d)), ring-based *inclusion*
     // pruning is unsound; only use the conservative path then.
-    let actual_side_max = (0..d).map(|j| domain.extent(j) / res as f64).fold(0.0f64, f64::max);
+    let actual_side_max = (0..d)
+        .map(|j| domain.extent(j) / res as f64)
+        .fold(0.0f64, f64::max);
     let inclusion_sound = actual_side_max <= side * (1.0 + 1e-9);
     // The exclusion/candidate ring must cover every cell that could hold a
     // point within k: a point at cell ring distance m is at least
@@ -102,8 +111,7 @@ pub fn cell_based_outliers(
     let ring_count = |coords: &[usize], radius: usize| -> usize {
         let mut acc = 0usize;
         let lo: Vec<usize> = coords.iter().map(|&c| c.saturating_sub(radius)).collect();
-        let hi: Vec<usize> =
-            coords.iter().map(|&c| (c + radius).min(res - 1)).collect();
+        let hi: Vec<usize> = coords.iter().map(|&c| (c + radius).min(res - 1)).collect();
         let mut cur = lo.clone();
         loop {
             let mut cell = 0usize;
@@ -132,8 +140,7 @@ pub fn cell_based_outliers(
     let ring_points = |coords: &[usize], radius: usize| -> Vec<u32> {
         let mut acc = Vec::new();
         let lo: Vec<usize> = coords.iter().map(|&c| c.saturating_sub(radius)).collect();
-        let hi: Vec<usize> =
-            coords.iter().map(|&c| (c + radius).min(res - 1)).collect();
+        let hi: Vec<usize> = coords.iter().map(|&c| (c + radius).min(res - 1)).collect();
         let mut cur = lo.clone();
         loop {
             let mut cell = 0usize;
@@ -221,12 +228,18 @@ mod tests {
         let mut rng = seeded(seed);
         let mut ds = Dataset::with_capacity(2, 520);
         for _ in 0..250 {
-            ds.push(&[0.3 + (rng.gen::<f64>() - 0.5) * 0.1, 0.3 + (rng.gen::<f64>() - 0.5) * 0.1])
-                .unwrap();
+            ds.push(&[
+                0.3 + (rng.gen::<f64>() - 0.5) * 0.1,
+                0.3 + (rng.gen::<f64>() - 0.5) * 0.1,
+            ])
+            .unwrap();
         }
         for _ in 0..250 {
-            ds.push(&[0.7 + (rng.gen::<f64>() - 0.5) * 0.1, 0.7 + (rng.gen::<f64>() - 0.5) * 0.1])
-                .unwrap();
+            ds.push(&[
+                0.7 + (rng.gen::<f64>() - 0.5) * 0.1,
+                0.7 + (rng.gen::<f64>() - 0.5) * 0.1,
+            ])
+            .unwrap();
         }
         for _ in 0..20 {
             ds.push(&[rng.gen::<f64>(), rng.gen::<f64>()]).unwrap();
@@ -251,7 +264,8 @@ mod tests {
         let mut rng = seeded(2);
         let mut ds = Dataset::with_capacity(3, 300);
         for _ in 0..300 {
-            ds.push(&[rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()]).unwrap();
+            ds.push(&[rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+                .unwrap();
         }
         let domain = BoundingBox::unit(3);
         let params = DbOutlierParams::new(0.1, 2).unwrap();

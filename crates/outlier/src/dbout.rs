@@ -17,9 +17,14 @@ impl DbOutlierParams {
     /// Creates the parameters, validating `radius > 0`.
     pub fn new(radius: f64, max_neighbors: usize) -> Result<Self> {
         if !(radius > 0.0) || !radius.is_finite() {
-            return Err(Error::InvalidParameter(format!("radius must be positive, got {radius}")));
+            return Err(Error::InvalidParameter(format!(
+                "radius must be positive, got {radius}"
+            )));
         }
-        Ok(DbOutlierParams { radius, max_neighbors })
+        Ok(DbOutlierParams {
+            radius,
+            max_neighbors,
+        })
     }
 
     /// The fraction form of Definition 1: `p = fr * |D|` ("the number of
@@ -27,7 +32,9 @@ impl DbOutlierParams {
     /// size"). `fr` is clamped to `[0, 1]`.
     pub fn from_fraction(radius: f64, fr: f64, dataset_size: usize) -> Result<Self> {
         if !(0.0..=1.0).contains(&fr) {
-            return Err(Error::InvalidParameter(format!("fraction must be in [0,1], got {fr}")));
+            return Err(Error::InvalidParameter(format!(
+                "fraction must be in [0,1], got {fr}"
+            )));
         }
         Self::new(radius, (fr * dataset_size as f64).floor() as usize)
     }

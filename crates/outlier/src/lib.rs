@@ -30,7 +30,7 @@ pub mod metric_general;
 pub mod nested;
 
 pub use approx::{approx_outliers, estimate_outlier_count, ApproxConfig, OutlierReport};
-pub use metric_general::{approx_outliers_metric, nested_loop_outliers_metric};
 pub use cellgrid::cell_based_outliers;
 pub use dbout::DbOutlierParams;
-pub use nested::{nested_loop_outliers, kdtree_outliers};
+pub use metric_general::{approx_outliers_metric, nested_loop_outliers_metric};
+pub use nested::{kdtree_outliers, nested_loop_outliers};

@@ -143,7 +143,10 @@ where
     E: DensityEstimator + ?Sized,
 {
     if source.dim() != estimator.dim() {
-        return Err(Error::DimensionMismatch { expected: estimator.dim(), got: source.dim() });
+        return Err(Error::DimensionMismatch {
+            expected: estimator.dim(),
+            got: source.dim(),
+        });
     }
     if !(slack >= 1.0) {
         return Err(Error::InvalidParameter("slack must be >= 1".into()));
@@ -191,7 +194,11 @@ where
         .filter(|(_, &count)| count <= p)
         .map(|(&i, _)| i)
         .collect();
-    Ok(OutlierReport { outliers, candidates, passes: 2 })
+    Ok(OutlierReport {
+        outliers,
+        candidates,
+        passes: 2,
+    })
 }
 
 #[cfg(test)]
@@ -206,8 +213,11 @@ mod tests {
         let mut ds = Dataset::with_capacity(2, 2003);
         for i in 0..2000 {
             let (cx, cy) = if i < 1000 { (0.3, 0.3) } else { (0.7, 0.7) };
-            ds.push(&[cx + (rng.gen::<f64>() - 0.5) * 0.15, cy + (rng.gen::<f64>() - 0.5) * 0.15])
-                .unwrap();
+            ds.push(&[
+                cx + (rng.gen::<f64>() - 0.5) * 0.15,
+                cy + (rng.gen::<f64>() - 0.5) * 0.15,
+            ])
+            .unwrap();
         }
         let start = ds.len();
         for o in [[0.05, 0.95], [0.95, 0.05], [0.5, 0.02]] {
@@ -279,7 +289,10 @@ mod tests {
         }
         let est = KernelDensityEstimator::fit_dataset(
             &ds,
-            &KdeConfig { domain: Some(BoundingBox::unit(2)), ..KdeConfig::with_centers(400) },
+            &KdeConfig {
+                domain: Some(BoundingBox::unit(2)),
+                ..KdeConfig::with_centers(400)
+            },
         )
         .unwrap();
         let report =
@@ -295,7 +308,10 @@ mod tests {
         let exact = nested_loop_outliers_metric(&ds, &params, Metric::Chebyshev);
         let est = KernelDensityEstimator::fit_dataset(
             &ds,
-            &KdeConfig { domain: Some(BoundingBox::unit(2)), ..KdeConfig::with_centers(400) },
+            &KdeConfig {
+                domain: Some(BoundingBox::unit(2)),
+                ..KdeConfig::with_centers(400)
+            },
         )
         .unwrap();
         let report =
@@ -309,11 +325,12 @@ mod tests {
         let params = DbOutlierParams::new(0.1, 2).unwrap();
         let est = KernelDensityEstimator::fit_dataset(
             &ds,
-            &KdeConfig { domain: Some(BoundingBox::unit(2)), ..KdeConfig::with_centers(100) },
+            &KdeConfig {
+                domain: Some(BoundingBox::unit(2)),
+                ..KdeConfig::with_centers(100)
+            },
         )
         .unwrap();
-        assert!(
-            approx_outliers_metric(&ds, &est, &params, Metric::Manhattan, 0.5, 32, 9).is_err()
-        );
+        assert!(approx_outliers_metric(&ds, &est, &params, Metric::Manhattan, 0.5, 32, 9).is_err());
     }
 }

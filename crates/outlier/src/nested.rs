@@ -68,8 +68,11 @@ mod tests {
         let mut rng = seeded(seed);
         let mut ds = Dataset::with_capacity(2, n_blob + extras.len());
         for _ in 0..n_blob {
-            ds.push(&[0.5 + (rng.gen::<f64>() - 0.5) * 0.1, 0.5 + (rng.gen::<f64>() - 0.5) * 0.1])
-                .unwrap();
+            ds.push(&[
+                0.5 + (rng.gen::<f64>() - 0.5) * 0.1,
+                0.5 + (rng.gen::<f64>() - 0.5) * 0.1,
+            ])
+            .unwrap();
         }
         for e in extras {
             ds.push(e).unwrap();

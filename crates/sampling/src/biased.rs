@@ -17,11 +17,20 @@
 //!
 //! Probabilities are clipped to 1; each sampled point carries weight
 //! `1/p_i` so weight-aware algorithms can debias (§3.1).
+//!
+//! Both passes run on the deterministic parallel executor
+//! ([`dbs_core::par`]): densities are evaluated in parallel and merged in
+//! point order, the normalizer is folded serially over that vector, and
+//! each inclusion draw is a counter-based hash of `(seed, point index)`
+//! ([`dbs_core::rng::keyed_unit`]) rather than a stateful generator — so
+//! the sample is a pure function of (data, config) and identical for every
+//! [`BiasedConfig::parallelism`] level.
 
-use dbs_core::rng::seeded;
-use dbs_core::{Dataset, Error, PointSource, Result, WeightedSample};
+use std::num::NonZeroUsize;
+
+use dbs_core::rng::keyed_unit;
+use dbs_core::{par, Dataset, Error, PointSource, Result, WeightedSample};
 use dbs_density::DensityEstimator;
-use rand::Rng;
 
 /// Configuration of the density-biased sampler.
 #[derive(Debug, Clone)]
@@ -41,17 +50,34 @@ pub struct BiasedConfig {
     pub density_floor: f64,
     /// RNG seed for the inclusion draws.
     pub seed: u64,
+    /// Worker threads for the density and inclusion passes. The sample is
+    /// identical for every value (see the module docs); `1` executes
+    /// serially on the calling thread.
+    pub parallelism: NonZeroUsize,
 }
 
 impl BiasedConfig {
-    /// A config with target size `b`, exponent `a`, and default floor/seed.
+    /// A config with target size `b`, exponent `a`, and default floor/seed;
+    /// parallelism defaults to the machine's available parallelism.
     pub fn new(target_size: usize, exponent: f64) -> Self {
-        BiasedConfig { target_size, exponent, density_floor: 0.01, seed: 0 }
+        BiasedConfig {
+            target_size,
+            exponent,
+            density_floor: 0.01,
+            seed: 0,
+            parallelism: par::available_parallelism(),
+        }
     }
 
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn with_parallelism(mut self, parallelism: NonZeroUsize) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -97,7 +123,7 @@ pub struct BiasedSampleStats {
 /// assert_eq!(stats.passes, 2);
 /// assert!(!sample.is_empty());
 /// // a = 1 oversamples the dense blob relative to the scattered points.
-/// let in_blob = sample.points().iter().filter(|p| p\[1\] < 0.5).count();
+/// let in_blob = sample.points().iter().filter(|p| p[1] < 0.5).count();
 /// assert!(in_blob as f64 / sample.len() as f64 > 0.9);
 /// # Ok::<(), dbs_core::Error>(())
 /// ```
@@ -108,60 +134,70 @@ pub fn density_biased_sample<S, E>(
 ) -> Result<(WeightedSample, BiasedSampleStats)>
 where
     S: PointSource + ?Sized,
-    E: DensityEstimator + ?Sized,
+    E: DensityEstimator + Sync + ?Sized,
 {
     let n = source.len();
     if n == 0 {
-        return Err(Error::InvalidParameter("cannot sample an empty source".into()));
+        return Err(Error::InvalidParameter(
+            "cannot sample an empty source".into(),
+        ));
     }
     if config.target_size == 0 {
         return Err(Error::InvalidParameter("target_size must be >= 1".into()));
     }
     if source.dim() != estimator.dim() {
-        return Err(Error::DimensionMismatch { expected: estimator.dim(), got: source.dim() });
+        return Err(Error::DimensionMismatch {
+            expected: estimator.dim(),
+            got: source.dim(),
+        });
     }
     if !(config.density_floor > 0.0) {
-        return Err(Error::InvalidParameter("density_floor must be positive".into()));
+        return Err(Error::InvalidParameter(
+            "density_floor must be positive".into(),
+        ));
     }
 
     let a = config.exponent;
+    let threads = config.parallelism;
     let floor = config.density_floor * estimator.average_density();
     let fprime = |x: &[f64]| -> f64 { estimator.density(x).max(floor).powf(a) };
 
-    // Pass 1: k = sum of f'(x) over the dataset.
-    let mut k = 0.0f64;
-    source.scan(&mut |_, x| {
-        k += fprime(x);
-    })?;
+    // Pass 1: k = sum of f'(x) over the dataset. The parallel map returns
+    // f'(x) in point order; the serial left fold over it is bit-identical
+    // to accumulating during a sequential scan.
+    let fpv = par::par_map(source, threads, |_, x| fprime(x))?;
+    let k: f64 = fpv.iter().sum();
     if !(k.is_finite() && k > 0.0) {
         return Err(Error::InvalidParameter(format!(
             "normalizer k = {k} is not positive/finite; check exponent and floor"
         )));
     }
 
-    // Pass 2: include x with probability min(1, b * f'(x) / k).
+    // Pass 2: include x with probability min(1, b * f'(x) / k), reusing the
+    // cached f' values. The inclusion draw for point i is keyed on
+    // (seed, i), so the decision set does not depend on scan or thread
+    // order.
     let b = config.target_size as f64;
-    let mut rng = seeded(config.seed);
-    let mut points = Dataset::with_capacity(source.dim(), config.target_size + 16);
-    let mut weights = Vec::with_capacity(config.target_size + 16);
-    let mut indices = Vec::with_capacity(config.target_size + 16);
-    let mut clipped = 0usize;
-    source.scan(&mut |i, x| {
-        let raw = b * fprime(x) / k;
-        let p = if raw >= 1.0 {
-            clipped += 1;
-            1.0
-        } else {
-            raw
-        };
-        if rng.gen::<f64>() < p {
-            points.push(x).expect("declared dimension");
-            weights.push(1.0 / p);
-            indices.push(i);
-        }
+    let clipped = fpv.iter().filter(|&&f| b * f / k >= 1.0).count();
+    let picks = par::par_filter_map(source, threads, |i, x| {
+        let p = (b * fpv[i] / k).min(1.0);
+        (keyed_unit(config.seed, i as u64) < p).then(|| (i, x.to_vec(), 1.0 / p))
     })?;
 
-    let stats = BiasedSampleStats { normalizer_k: k, clipped, passes: 2 };
+    let mut points = Dataset::with_capacity(source.dim(), picks.len());
+    let mut weights = Vec::with_capacity(picks.len());
+    let mut indices = Vec::with_capacity(picks.len());
+    for (i, x, w) in picks {
+        points.push(&x).expect("declared dimension");
+        weights.push(w);
+        indices.push(i);
+    }
+
+    let stats = BiasedSampleStats {
+        normalizer_k: k,
+        clipped,
+        passes: 2,
+    };
     Ok((WeightedSample::new(points, weights, indices)?, stats))
 }
 
@@ -178,6 +214,7 @@ mod tests {
     use dbs_core::rng::{self, seeded};
     use dbs_core::BoundingBox;
     use dbs_density::{GridEstimator, KdeConfig, KernelDensityEstimator};
+    use rand::Rng;
 
     /// 90% of points in a dense blob around (0.25,0.25), 10% in a sparse
     /// blob around (0.75,0.75).
@@ -185,15 +222,25 @@ mod tests {
         let mut rng = seeded(seed);
         let mut ds = Dataset::with_capacity(2, n);
         for i in 0..n {
-            let (cx, cy) = if i < n * 9 / 10 { (0.25, 0.25) } else { (0.75, 0.75) };
-            ds.push(&[cx + (rng.gen::<f64>() - 0.5) * 0.1, cy + (rng.gen::<f64>() - 0.5) * 0.1])
-                .unwrap();
+            let (cx, cy) = if i < n * 9 / 10 {
+                (0.25, 0.25)
+            } else {
+                (0.75, 0.75)
+            };
+            ds.push(&[
+                cx + (rng.gen::<f64>() - 0.5) * 0.1,
+                cy + (rng.gen::<f64>() - 0.5) * 0.1,
+            ])
+            .unwrap();
         }
         ds
     }
 
     fn kde(ds: &Dataset) -> KernelDensityEstimator {
-        let cfg = KdeConfig { domain: Some(BoundingBox::unit(2)), ..KdeConfig::with_centers(300) };
+        let cfg = KdeConfig {
+            domain: Some(BoundingBox::unit(2)),
+            ..KdeConfig::with_centers(300)
+        };
         KernelDensityEstimator::fit_dataset(ds, &cfg).unwrap()
     }
 
@@ -210,7 +257,10 @@ mod tests {
                 total += s.len();
             }
             let mean = total as f64 / reps as f64;
-            assert!((mean - 500.0).abs() < 60.0, "a={a}: mean sample size {mean}");
+            assert!(
+                (mean - 500.0).abs() < 60.0,
+                "a={a}: mean sample size {mean}"
+            );
         }
     }
 
@@ -233,12 +283,7 @@ mod tests {
         let est = kde(&ds);
         let cfg = BiasedConfig::new(1000, 1.0).with_seed(6);
         let (s, _) = density_biased_sample(&ds, &est, &cfg).unwrap();
-        let dense_frac = s
-            .points()
-            .iter()
-            .filter(|p| p[0] < 0.5)
-            .count() as f64
-            / s.len() as f64;
+        let dense_frac = s.points().iter().filter(|p| p[0] < 0.5).count() as f64 / s.len() as f64;
         // Dense blob holds 90% of the data; with a=1 it should hold clearly
         // more than 90% of the sample.
         assert!(dense_frac > 0.93, "dense fraction {dense_frac}");
@@ -250,12 +295,7 @@ mod tests {
         let est = kde(&ds);
         let cfg = BiasedConfig::new(1000, -0.5).with_seed(8);
         let (s, _) = density_biased_sample(&ds, &est, &cfg).unwrap();
-        let sparse_frac = s
-            .points()
-            .iter()
-            .filter(|p| p[0] > 0.5)
-            .count() as f64
-            / s.len() as f64;
+        let sparse_frac = s.points().iter().filter(|p| p[0] > 0.5).count() as f64 / s.len() as f64;
         // Sparse blob holds 10% of the data but should hold clearly more of
         // the sample.
         assert!(sparse_frac > 0.15, "sparse fraction {sparse_frac}");
@@ -292,7 +332,10 @@ mod tests {
             sparse_total += s.points().iter().filter(|p| p[0] > 0.5).count();
         }
         let ratio = dense_total as f64 / sparse_total.max(1) as f64;
-        assert!((0.6..1.7).contains(&ratio), "ratio {ratio} (dense {dense_total}, sparse {sparse_total})");
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "ratio {ratio} (dense {dense_total}, sparse {sparse_total})"
+        );
     }
 
     #[test]
@@ -334,8 +377,7 @@ mod tests {
         let cfg = BiasedConfig::new(300, 1.0).with_seed(18);
         let (s, _) = density_biased_sample(&ds, &est, &cfg).unwrap();
         assert!(!s.is_empty());
-        let dense_frac =
-            s.points().iter().filter(|p| p[0] < 0.5).count() as f64 / s.len() as f64;
+        let dense_frac = s.points().iter().filter(|p| p[0] < 0.5).count() as f64 / s.len() as f64;
         assert!(dense_frac > 0.9);
     }
 
@@ -343,7 +385,9 @@ mod tests {
     fn rejects_degenerate_inputs() {
         let ds = two_blobs(100, 19);
         let est = kde(&ds);
-        assert!(density_biased_sample(&Dataset::new(2), &est, &BiasedConfig::new(10, 1.0)).is_err());
+        assert!(
+            density_biased_sample(&Dataset::new(2), &est, &BiasedConfig::new(10, 1.0)).is_err()
+        );
         assert!(density_biased_sample(&ds, &est, &BiasedConfig::new(0, 1.0)).is_err());
         let mut bad = BiasedConfig::new(10, 1.0);
         bad.density_floor = 0.0;

@@ -73,13 +73,18 @@ pub fn grid_biased_sample<S: PointSource + ?Sized>(
 ) -> Result<(WeightedSample, BiasedSampleStats)> {
     let n = source.len();
     if n == 0 {
-        return Err(Error::InvalidParameter("cannot sample an empty source".into()));
+        return Err(Error::InvalidParameter(
+            "cannot sample an empty source".into(),
+        ));
     }
     if config.target_size == 0 {
         return Err(Error::InvalidParameter("target_size must be >= 1".into()));
     }
     let dim = source.dim();
-    let domain = config.domain.clone().unwrap_or_else(|| BoundingBox::unit(dim));
+    let domain = config
+        .domain
+        .clone()
+        .unwrap_or_else(|| BoundingBox::unit(dim));
 
     // Pass 1: hashed cell counts.
     let est = HashGridEstimator::fit(source, domain, config.cells_per_dim, config.table_slots)?;
@@ -95,7 +100,9 @@ pub fn grid_biased_sample<S: PointSource + ?Sized>(
         k_norm += count.max(1.0).powf(e);
     })?;
     if !(k_norm.is_finite() && k_norm > 0.0) {
-        return Err(Error::InvalidParameter(format!("normalizer K = {k_norm} invalid")));
+        return Err(Error::InvalidParameter(format!(
+            "normalizer K = {k_norm} invalid"
+        )));
     }
 
     // Pass 2: sample.
@@ -121,7 +128,11 @@ pub fn grid_biased_sample<S: PointSource + ?Sized>(
         }
     })?;
 
-    let stats = BiasedSampleStats { normalizer_k: k_norm, clipped, passes: 3 };
+    let stats = BiasedSampleStats {
+        normalizer_k: k_norm,
+        clipped,
+        passes: 3,
+    };
     Ok((WeightedSample::new(points, weights, indices)?, stats))
 }
 
@@ -134,9 +145,16 @@ mod tests {
         let mut rng = seeded(seed);
         let mut ds = Dataset::with_capacity(2, n);
         for i in 0..n {
-            let (cx, cy) = if i < n * 9 / 10 { (0.25, 0.25) } else { (0.75, 0.75) };
-            ds.push(&[cx + (rng.gen::<f64>() - 0.5) * 0.1, cy + (rng.gen::<f64>() - 0.5) * 0.1])
-                .unwrap();
+            let (cx, cy) = if i < n * 9 / 10 {
+                (0.25, 0.25)
+            } else {
+                (0.75, 0.75)
+            };
+            ds.push(&[
+                cx + (rng.gen::<f64>() - 0.5) * 0.1,
+                cy + (rng.gen::<f64>() - 0.5) * 0.1,
+            ])
+            .unwrap();
         }
         ds
     }
@@ -155,8 +173,7 @@ mod tests {
         let ds = two_blobs(20_000, 3);
         let cfg = GridBiasedConfig::new(1000, -0.5).with_seed(4);
         let (s, _) = grid_biased_sample(&ds, &cfg).unwrap();
-        let sparse_frac =
-            s.points().iter().filter(|p| p[0] > 0.5).count() as f64 / s.len() as f64;
+        let sparse_frac = s.points().iter().filter(|p| p[0] > 0.5).count() as f64 / s.len() as f64;
         assert!(sparse_frac > 0.15, "sparse fraction {sparse_frac}");
     }
 
@@ -166,9 +183,11 @@ mod tests {
         let cfg = GridBiasedConfig::new(1000, 0.0).with_seed(6);
         let (s, stats) = grid_biased_sample(&ds, &cfg).unwrap();
         assert!((stats.normalizer_k - 20_000.0).abs() < 1e-6);
-        let sparse_frac =
-            s.points().iter().filter(|p| p[0] > 0.5).count() as f64 / s.len() as f64;
-        assert!((sparse_frac - 0.1).abs() < 0.04, "sparse fraction {sparse_frac}");
+        let sparse_frac = s.points().iter().filter(|p| p[0] > 0.5).count() as f64 / s.len() as f64;
+        assert!(
+            (sparse_frac - 0.1).abs() < 0.04,
+            "sparse fraction {sparse_frac}"
+        );
     }
 
     #[test]

@@ -12,22 +12,34 @@
 //! estimate of the sum. Sampling then happens during the only remaining
 //! data pass.
 
-use dbs_core::rng::seeded;
-use dbs_core::{Dataset, Error, PointSource, Result, WeightedSample};
+use std::num::NonZeroUsize;
+
+use dbs_core::rng::keyed_unit;
+use dbs_core::{par, Dataset, Error, PointSource, Result, WeightedSample};
 use dbs_density::{DensityEstimator, KernelDensityEstimator};
-use rand::Rng;
 
 use crate::biased::{BiasedConfig, BiasedSampleStats};
 
 /// Estimates the Figure 1 normalizer `k` from the kernel centers only
 /// (no dataset pass). `floor_rel` is the density floor relative to the
-/// average density, as in [`BiasedConfig::density_floor`].
-pub fn estimate_normalizer(est: &KernelDensityEstimator, a: f64, floor_rel: f64) -> f64 {
+/// average density, as in [`BiasedConfig::density_floor`]. Center densities
+/// are evaluated with up to `threads` workers; the result is identical for
+/// every thread count (the batch evaluation returns densities in center
+/// order and the fold over them is serial).
+pub fn estimate_normalizer(
+    est: &KernelDensityEstimator,
+    a: f64,
+    floor_rel: f64,
+    threads: NonZeroUsize,
+) -> f64 {
     let centers = est.centers();
     let ks = centers.len() as f64;
     let n = est.dataset_size();
     let floor = floor_rel * est.average_density();
-    let sum: f64 = centers.iter().map(|c| est.density(c).max(floor).powf(a)).sum();
+    let densities = est
+        .densities(centers, threads)
+        .expect("in-memory center scan cannot fail");
+    let sum: f64 = densities.iter().map(|&f| f.max(floor).powf(a)).sum();
     n / ks * sum
 }
 
@@ -47,50 +59,79 @@ where
 {
     let n = source.len();
     if n == 0 {
-        return Err(Error::InvalidParameter("cannot sample an empty source".into()));
+        return Err(Error::InvalidParameter(
+            "cannot sample an empty source".into(),
+        ));
     }
     if config.target_size == 0 {
         return Err(Error::InvalidParameter("target_size must be >= 1".into()));
     }
     if source.dim() != estimator.dim() {
-        return Err(Error::DimensionMismatch { expected: estimator.dim(), got: source.dim() });
+        return Err(Error::DimensionMismatch {
+            expected: estimator.dim(),
+            got: source.dim(),
+        });
     }
     if !(config.density_floor > 0.0) {
-        return Err(Error::InvalidParameter("density_floor must be positive".into()));
+        return Err(Error::InvalidParameter(
+            "density_floor must be positive".into(),
+        ));
     }
 
     let a = config.exponent;
+    let threads = config.parallelism;
     let floor_rel = config.density_floor;
     let floor = floor_rel * estimator.average_density();
-    let k = estimate_normalizer(estimator, a, floor_rel);
+    let k = estimate_normalizer(estimator, a, floor_rel, threads);
     if !(k.is_finite() && k > 0.0) {
         return Err(Error::InvalidParameter(format!(
             "approximated normalizer k = {k} is not positive/finite"
         )));
     }
 
+    // The single data pass, chunked across threads. Each chunk yields its
+    // picks (in point order) and its clip count; picks concatenate in chunk
+    // order and the counts sum, so the merged result is the same for every
+    // parallelism level. Inclusion draws are keyed on (seed, index) as in
+    // the two-pass sampler.
     let b = config.target_size as f64;
-    let mut rng = seeded(config.seed);
+    let per_chunk = par::par_scan(source, threads, |range, ds| {
+        let mut picks: Vec<(usize, Vec<f64>, f64)> = Vec::new();
+        let mut clipped = 0usize;
+        for i in range {
+            let x = ds.point(i);
+            let raw = b * estimator.density(x).max(floor).powf(a) / k;
+            let p = if raw >= 1.0 {
+                clipped += 1;
+                1.0
+            } else {
+                raw
+            };
+            if keyed_unit(config.seed, i as u64) < p {
+                picks.push((i, x.to_vec(), 1.0 / p));
+            }
+        }
+        (picks, clipped)
+    })?;
+
     let mut points = Dataset::with_capacity(source.dim(), config.target_size + 16);
     let mut weights = Vec::with_capacity(config.target_size + 16);
     let mut indices = Vec::with_capacity(config.target_size + 16);
     let mut clipped = 0usize;
-    source.scan(&mut |i, x| {
-        let raw = b * estimator.density(x).max(floor).powf(a) / k;
-        let p = if raw >= 1.0 {
-            clipped += 1;
-            1.0
-        } else {
-            raw
-        };
-        if rng.gen::<f64>() < p {
-            points.push(x).expect("declared dimension");
-            weights.push(1.0 / p);
+    for (picks, chunk_clipped) in per_chunk {
+        clipped += chunk_clipped;
+        for (i, x, w) in picks {
+            points.push(&x).expect("declared dimension");
+            weights.push(w);
             indices.push(i);
         }
-    })?;
+    }
 
-    let stats = BiasedSampleStats { normalizer_k: k, clipped, passes: 1 };
+    let stats = BiasedSampleStats {
+        normalizer_k: k,
+        clipped,
+        passes: 1,
+    };
     Ok((WeightedSample::new(points, weights, indices)?, stats))
 }
 
@@ -101,20 +142,31 @@ mod tests {
     use dbs_core::rng::seeded;
     use dbs_core::BoundingBox;
     use dbs_density::KdeConfig;
+    use rand::Rng;
 
     fn two_blobs(n: usize, seed: u64) -> Dataset {
         let mut rng = seeded(seed);
         let mut ds = Dataset::with_capacity(2, n);
         for i in 0..n {
-            let (cx, cy) = if i < n * 9 / 10 { (0.25, 0.25) } else { (0.75, 0.75) };
-            ds.push(&[cx + (rng.gen::<f64>() - 0.5) * 0.1, cy + (rng.gen::<f64>() - 0.5) * 0.1])
-                .unwrap();
+            let (cx, cy) = if i < n * 9 / 10 {
+                (0.25, 0.25)
+            } else {
+                (0.75, 0.75)
+            };
+            ds.push(&[
+                cx + (rng.gen::<f64>() - 0.5) * 0.1,
+                cy + (rng.gen::<f64>() - 0.5) * 0.1,
+            ])
+            .unwrap();
         }
         ds
     }
 
     fn kde(ds: &Dataset) -> KernelDensityEstimator {
-        let cfg = KdeConfig { domain: Some(BoundingBox::unit(2)), ..KdeConfig::with_centers(500) };
+        let cfg = KdeConfig {
+            domain: Some(BoundingBox::unit(2)),
+            ..KdeConfig::with_centers(500)
+        };
         KernelDensityEstimator::fit_dataset(ds, &cfg).unwrap()
     }
 
@@ -135,13 +187,16 @@ mod tests {
         let est = kde(&ds);
         let floor = 0.01 * est.average_density();
         for a in [-0.5, 0.5, 1.0] {
-            let approx = estimate_normalizer(&est, a, 0.01);
+            let approx = estimate_normalizer(&est, a, 0.01, par::available_parallelism());
             let mut exact = 0.0;
             for p in ds.iter() {
                 exact += est.density(p).max(floor).powf(a);
             }
             let rel = (approx - exact).abs() / exact;
-            assert!(rel < 0.15, "a={a}: approx {approx} vs exact {exact} (rel {rel})");
+            assert!(
+                rel < 0.15,
+                "a={a}: approx {approx} vs exact {exact} (rel {rel})"
+            );
         }
     }
 
@@ -172,7 +227,9 @@ mod tests {
     fn rejects_degenerate_inputs() {
         let ds = two_blobs(100, 7);
         let est = kde(&ds);
-        assert!(one_pass_biased_sample(&Dataset::new(2), &est, &BiasedConfig::new(5, 1.0)).is_err());
+        assert!(
+            one_pass_biased_sample(&Dataset::new(2), &est, &BiasedConfig::new(5, 1.0)).is_err()
+        );
         assert!(one_pass_biased_sample(&ds, &est, &BiasedConfig::new(0, 1.0)).is_err());
     }
 }

@@ -21,7 +21,9 @@ pub fn reservoir_sample<S: PointSource + ?Sized>(
         return Err(Error::InvalidParameter("sample size must be >= 1".into()));
     }
     if source.is_empty() {
-        return Err(Error::InvalidParameter("cannot sample an empty source".into()));
+        return Err(Error::InvalidParameter(
+            "cannot sample an empty source".into(),
+        ));
     }
     let mut rng = seeded(seed);
     let dim = source.dim();
@@ -54,7 +56,9 @@ pub fn reservoir_sample_skip<S: PointSource + ?Sized>(
         return Err(Error::InvalidParameter("sample size must be >= 1".into()));
     }
     if source.is_empty() {
-        return Err(Error::InvalidParameter("cannot sample an empty source".into()));
+        return Err(Error::InvalidParameter(
+            "cannot sample an empty source".into(),
+        ));
     }
     let mut rng = seeded(seed);
     let dim = source.dim();

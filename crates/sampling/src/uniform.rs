@@ -16,7 +16,9 @@ pub fn bernoulli_sample<S: PointSource + ?Sized>(
 ) -> Result<WeightedSample> {
     let n = source.len();
     if n == 0 {
-        return Err(Error::InvalidParameter("cannot sample an empty source".into()));
+        return Err(Error::InvalidParameter(
+            "cannot sample an empty source".into(),
+        ));
     }
     if b == 0 {
         return Err(Error::InvalidParameter("sample size must be >= 1".into()));
@@ -37,14 +39,12 @@ pub fn bernoulli_sample<S: PointSource + ?Sized>(
 
 /// Exact-size uniform sampling without replacement from an in-memory
 /// dataset (partial Fisher–Yates over the index range).
-pub fn sample_without_replacement(
-    data: &Dataset,
-    b: usize,
-    seed: u64,
-) -> Result<WeightedSample> {
+pub fn sample_without_replacement(data: &Dataset, b: usize, seed: u64) -> Result<WeightedSample> {
     let n = data.len();
     if n == 0 {
-        return Err(Error::InvalidParameter("cannot sample an empty dataset".into()));
+        return Err(Error::InvalidParameter(
+            "cannot sample an empty dataset".into(),
+        ));
     }
     if b == 0 {
         return Err(Error::InvalidParameter("sample size must be >= 1".into()));

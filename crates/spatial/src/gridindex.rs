@@ -65,7 +65,11 @@ impl GridIndex {
         let mut cell = 0usize;
         for j in 0..p.len() {
             let extent = self.domain.extent(j);
-            let rel = if extent > 0.0 { (p[j] - self.domain.min()[j]) / extent } else { 0.0 };
+            let rel = if extent > 0.0 {
+                (p[j] - self.domain.min()[j]) / extent
+            } else {
+                0.0
+            };
             let c = ((rel * self.cells_per_dim as f64) as isize)
                 .clamp(0, self.cells_per_dim as isize - 1) as usize;
             cell = cell * self.cells_per_dim + c;
@@ -129,7 +133,11 @@ impl GridIndex {
         for j in 0..d {
             let extent = self.domain.extent(j);
             let to_cell = |x: f64| -> usize {
-                let rel = if extent > 0.0 { (x - self.domain.min()[j]) / extent } else { 0.0 };
+                let rel = if extent > 0.0 {
+                    (x - self.domain.min()[j]) / extent
+                } else {
+                    0.0
+                };
                 ((rel * self.cells_per_dim as f64) as isize)
                     .clamp(0, self.cells_per_dim as isize - 1) as usize
             };
@@ -253,7 +261,10 @@ mod tests {
         grid.for_each_candidate_within(&q, r, |i| candidates.push(i as usize));
         for (i, p) in data.iter().enumerate() {
             if dbs_core::metric::euclidean(&q, p) <= r {
-                assert!(candidates.contains(&i), "in-ball point {i} missing from candidates");
+                assert!(
+                    candidates.contains(&i),
+                    "in-ball point {i} missing from candidates"
+                );
             }
         }
     }

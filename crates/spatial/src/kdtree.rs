@@ -1,12 +1,19 @@
 //! Static kd-tree over a dataset.
 
-use dbs_core::{BoundingBox, Dataset};
+use std::num::NonZeroUsize;
+
+use dbs_core::{par, BoundingBox, Dataset};
 
 /// A node of the kd-tree, stored in a flat arena.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     /// Interior node: split dimension, split value, children arena indices.
-    Split { dim: usize, value: f64, left: u32, right: u32 },
+    Split {
+        dim: usize,
+        value: f64,
+        left: u32,
+        right: u32,
+    },
     /// Leaf node: range `[start, end)` into the permuted index array.
     Leaf { start: u32, end: u32 },
 }
@@ -15,13 +22,26 @@ enum Node {
 ///
 /// The tree stores point *indices*; queries return indices into the dataset
 /// it was built from. Leaves hold up to [`KdTree::LEAF_SIZE`] points.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KdTree {
     nodes: Vec<Node>,
     /// Permutation of `0..n`; leaves own contiguous sub-ranges.
     indices: Vec<u32>,
     root: u32,
     dim: usize,
+}
+
+/// The shape of the serially-split top of a parallel build: interior nodes
+/// mirror the splits [`KdTree::build`] would make; `Task` marks a subtree
+/// handed to a worker. Tasks are numbered left to right.
+enum BuildPlan {
+    Task,
+    Split {
+        dim: usize,
+        value: f64,
+        left: Box<BuildPlan>,
+        right: Box<BuildPlan>,
+    },
 }
 
 /// A `(rank_distance, index)` pair used in a bounded max-heap for kNN.
@@ -38,7 +58,9 @@ impl PartialOrd for HeapItem {
 
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("distances are never NaN")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("distances are never NaN")
     }
 }
 
@@ -50,31 +72,84 @@ impl KdTree {
     ///
     /// Panics if `data` is empty.
     pub fn build(data: &Dataset) -> Self {
-        assert!(!data.is_empty(), "cannot build a kd-tree over an empty dataset");
+        assert!(
+            !data.is_empty(),
+            "cannot build a kd-tree over an empty dataset"
+        );
         let mut indices: Vec<u32> = (0..data.len() as u32).collect();
         let mut nodes = Vec::new();
         let n = indices.len();
-        let root = Self::build_rec(data, &mut nodes, &mut indices, 0, n, 0);
-        KdTree { nodes, indices, root, dim: data.dim() }
+        let root = Self::build_rec(data, &mut nodes, &mut indices, 0, n);
+        KdTree {
+            nodes,
+            indices,
+            root,
+            dim: data.dim(),
+        }
     }
 
-    fn build_rec(
+    /// Builds the same tree as [`KdTree::build`] — node for node, index for
+    /// index — using up to `threads` workers.
+    ///
+    /// The top of the tree is split serially (splits are deterministic:
+    /// widest spread + median selection, no randomness) until there are
+    /// enough disjoint subtrees to occupy the workers; the subtrees build
+    /// concurrently and are stitched back in the serial build's postorder
+    /// arena layout, so the result is equal to the serial build for every
+    /// thread count.
+    ///
+    /// Panics if `data` is empty.
+    pub fn build_par(data: &Dataset, threads: NonZeroUsize) -> Self {
+        assert!(
+            !data.is_empty(),
+            "cannot build a kd-tree over an empty dataset"
+        );
+        let n = data.len();
+        if threads.get() == 1 || n <= 4 * Self::LEAF_SIZE {
+            return Self::build(data);
+        }
+        let mut indices: Vec<u32> = (0..n as u32).collect();
+        // Oversplit relative to the worker count so an unbalanced subtree
+        // cannot dominate the wall clock.
+        let min_task = (n / (threads.get() * 4)).max(Self::LEAF_SIZE);
+        let mut tasks: Vec<(usize, usize)> = Vec::new();
+        let plan = Self::plan_rec(data, &mut indices, 0, n, min_task, &mut tasks);
+
+        let indices_ro = &indices;
+        let built = par::par_tasks(tasks.len(), threads, |t| {
+            let (start, end) = tasks[t];
+            let mut local_idx: Vec<u32> = indices_ro[start..end].to_vec();
+            let mut local_nodes: Vec<Node> = Vec::new();
+            let m = local_idx.len();
+            let root = Self::build_rec(data, &mut local_nodes, &mut local_idx, 0, m);
+            debug_assert_eq!(root as usize, local_nodes.len() - 1);
+            (local_nodes, local_idx)
+        });
+
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut next = 0usize;
+        let root = Self::assemble(&plan, &tasks, &built, &mut next, &mut nodes, &mut indices);
+        KdTree {
+            nodes,
+            indices,
+            root,
+            dim: data.dim(),
+        }
+    }
+
+    /// Chooses the split the serial build would make at `[start, end)`, or
+    /// `None` when the serial build would emit a leaf / cannot split.
+    fn choose_split(
         data: &Dataset,
-        nodes: &mut Vec<Node>,
         indices: &mut [u32],
         start: usize,
         end: usize,
-        depth: usize,
-    ) -> u32 {
+    ) -> Option<(usize, f64, usize)> {
         let count = end - start;
-        if count <= Self::LEAF_SIZE {
-            nodes.push(Node::Leaf { start: start as u32, end: end as u32 });
-            return (nodes.len() - 1) as u32;
-        }
         // Split on the dimension with the largest spread among this subset —
         // more robust than cycling dimensions for clustered data.
         let d = data.dim();
-        let mut best_dim = depth % d;
+        let mut best_dim = 0;
         let mut best_spread = -1.0;
         for j in 0..d {
             let mut lo = f64::INFINITY;
@@ -92,8 +167,7 @@ impl KdTree {
         }
         if best_spread <= 0.0 {
             // All points identical on every dimension: cannot split.
-            nodes.push(Node::Leaf { start: start as u32, end: end as u32 });
-            return (nodes.len() - 1) as u32;
+            return None;
         }
         let mid = start + count / 2;
         let sub = &mut indices[start..end];
@@ -103,10 +177,132 @@ impl KdTree {
                 .expect("coordinates are never NaN")
         });
         let split_value = data.point(indices[mid] as usize)[best_dim];
-        let left = Self::build_rec(data, nodes, indices, start, mid, depth + 1);
-        let right = Self::build_rec(data, nodes, indices, mid, end, depth + 1);
-        nodes.push(Node::Split { dim: best_dim, value: split_value, left, right });
+        Some((best_dim, split_value, mid))
+    }
+
+    fn build_rec(
+        data: &Dataset,
+        nodes: &mut Vec<Node>,
+        indices: &mut [u32],
+        start: usize,
+        end: usize,
+    ) -> u32 {
+        let count = end - start;
+        if count <= Self::LEAF_SIZE {
+            nodes.push(Node::Leaf {
+                start: start as u32,
+                end: end as u32,
+            });
+            return (nodes.len() - 1) as u32;
+        }
+        let Some((best_dim, split_value, mid)) = Self::choose_split(data, indices, start, end)
+        else {
+            nodes.push(Node::Leaf {
+                start: start as u32,
+                end: end as u32,
+            });
+            return (nodes.len() - 1) as u32;
+        };
+        let left = Self::build_rec(data, nodes, indices, start, mid);
+        let right = Self::build_rec(data, nodes, indices, mid, end);
+        nodes.push(Node::Split {
+            dim: best_dim,
+            value: split_value,
+            left,
+            right,
+        });
         (nodes.len() - 1) as u32
+    }
+
+    /// Performs the serial build's top splits on `indices`, recording a
+    /// subtree task (left to right) whenever a range shrinks to `min_task`
+    /// points or cannot be split further.
+    fn plan_rec(
+        data: &Dataset,
+        indices: &mut [u32],
+        start: usize,
+        end: usize,
+        min_task: usize,
+        tasks: &mut Vec<(usize, usize)>,
+    ) -> BuildPlan {
+        let count = end - start;
+        if count <= min_task.max(Self::LEAF_SIZE) {
+            tasks.push((start, end));
+            return BuildPlan::Task;
+        }
+        let Some((dim, value, mid)) = Self::choose_split(data, indices, start, end) else {
+            tasks.push((start, end));
+            return BuildPlan::Task;
+        };
+        let left = Self::plan_rec(data, indices, start, mid, min_task, tasks);
+        let right = Self::plan_rec(data, indices, mid, end, min_task, tasks);
+        BuildPlan::Split {
+            dim,
+            value,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Replays `plan` in the serial build's postorder, splicing each built
+    /// subtree into the arena with its node indices and leaf positions
+    /// rebased, and writing its permuted indices back. Returns the arena
+    /// index of the subtree root.
+    fn assemble(
+        plan: &BuildPlan,
+        tasks: &[(usize, usize)],
+        built: &[(Vec<Node>, Vec<u32>)],
+        next: &mut usize,
+        nodes: &mut Vec<Node>,
+        indices: &mut [u32],
+    ) -> u32 {
+        match plan {
+            BuildPlan::Task => {
+                let t = *next;
+                *next += 1;
+                let (start, end) = tasks[t];
+                let (local_nodes, local_idx) = &built[t];
+                let node_off = nodes.len() as u32;
+                let pos_off = start as u32;
+                for node in local_nodes {
+                    nodes.push(match *node {
+                        Node::Leaf { start, end } => Node::Leaf {
+                            start: start + pos_off,
+                            end: end + pos_off,
+                        },
+                        Node::Split {
+                            dim,
+                            value,
+                            left,
+                            right,
+                        } => Node::Split {
+                            dim,
+                            value,
+                            left: left + node_off,
+                            right: right + node_off,
+                        },
+                    });
+                }
+                indices[start..end].copy_from_slice(local_idx);
+                (nodes.len() - 1) as u32
+            }
+            BuildPlan::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                let l = Self::assemble(left, tasks, built, next, nodes, indices);
+                let r = Self::assemble(right, tasks, built, next, nodes, indices);
+                nodes.push(Node::Split {
+                    dim: *dim,
+                    value: *value,
+                    left: l,
+                    right: r,
+                });
+                (nodes.len() - 1) as u32
+            }
+        }
     }
 
     /// Dimensionality of the indexed points.
@@ -168,9 +364,18 @@ impl KdTree {
                     }
                 }
             }
-            Node::Split { dim, value, left, right } => {
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
                 let diff = query[*dim] - value;
-                let (near, far) = if diff < 0.0 { (*left, *right) } else { (*right, *left) };
+                let (near, far) = if diff < 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
                 self.nearest_rec(data, query, near, best, exclude);
                 if diff * diff < best.1 {
                     self.nearest_rec(data, query, far, best, exclude);
@@ -188,8 +393,11 @@ impl KdTree {
         let mut heap: std::collections::BinaryHeap<HeapItem> =
             std::collections::BinaryHeap::with_capacity(k + 1);
         self.k_nearest_rec(data, query, self.root, k, &mut heap);
-        let mut out: Vec<(usize, f64)> =
-            heap.into_sorted_vec().into_iter().map(|HeapItem(d, i)| (i as usize, d.sqrt())).collect();
+        let mut out: Vec<(usize, f64)> = heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|HeapItem(d, i)| (i as usize, d.sqrt()))
+            .collect();
         out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are never NaN"));
         out
     }
@@ -214,9 +422,18 @@ impl KdTree {
                     }
                 }
             }
-            Node::Split { dim, value, left, right } => {
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
                 let diff = query[*dim] - value;
-                let (near, far) = if diff < 0.0 { (*left, *right) } else { (*right, *left) };
+                let (near, far) = if diff < 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
                 self.k_nearest_rec(data, query, near, k, heap);
                 let worst = if heap.len() < k {
                     f64::INFINITY
@@ -242,13 +459,7 @@ impl KdTree {
     /// exceeds `cap` (returns `cap + 1` in that case). The exact DB-outlier
     /// detectors use this: a point stops being an outlier candidate as soon
     /// as `p + 1` neighbors are seen.
-    pub fn count_within_capped(
-        &self,
-        data: &Dataset,
-        query: &[f64],
-        r: f64,
-        cap: usize,
-    ) -> usize {
+    pub fn count_within_capped(&self, data: &Dataset, query: &[f64], r: f64, cap: usize) -> usize {
         let mut count = 0usize;
         let r2 = r * r;
         self.within_capped_rec(data, query, self.root, r2, cap, &mut count);
@@ -278,9 +489,18 @@ impl KdTree {
                     }
                 }
             }
-            Node::Split { dim, value, left, right } => {
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
                 let diff = query[*dim] - value;
-                let (near, far) = if diff < 0.0 { (*left, *right) } else { (*right, *left) };
+                let (near, far) = if diff < 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
                 self.within_capped_rec(data, query, near, r2, cap, count);
                 if diff * diff <= r2 {
                     self.within_capped_rec(data, query, far, r2, cap, count);
@@ -314,9 +534,18 @@ impl KdTree {
                     }
                 }
             }
-            Node::Split { dim, value, left, right } => {
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
                 let diff = query[*dim] - value;
-                let (near, far) = if diff < 0.0 { (*left, *right) } else { (*right, *left) };
+                let (near, far) = if diff < 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
                 self.within_rec(data, query, near, r2, emit);
                 if diff * diff <= r2 {
                     self.within_rec(data, query, far, r2, emit);
@@ -342,7 +571,12 @@ impl KdTree {
                     }
                 }
             }
-            Node::Split { dim, value, left, right } => {
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
                 if bbox.min()[*dim] <= *value {
                     self.range_box_rec(data, bbox, *left, out);
                 }
@@ -379,6 +613,31 @@ mod tests {
             }
         }
         (best.0, best.1.sqrt())
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_serial() {
+        for (n, dim, seed) in [(5000, 3, 21), (1000, 2, 22), (257, 5, 23)] {
+            let data = random_dataset(n, dim, seed);
+            let serial = KdTree::build(&data);
+            for t in [1usize, 2, 7] {
+                let par = KdTree::build_par(&data, NonZeroUsize::new(t).unwrap());
+                assert_eq!(par, serial, "n={n} dim={dim} threads={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_handles_duplicate_points() {
+        // Zero-spread subsets force leaf cutoffs in the planner.
+        let mut ds = Dataset::with_capacity(2, 600);
+        for i in 0..600 {
+            let v = (i / 200) as f64;
+            ds.push(&[v, v]).unwrap();
+        }
+        let serial = KdTree::build(&ds);
+        let par = KdTree::build_par(&ds, NonZeroUsize::new(4).unwrap());
+        assert_eq!(par, serial);
     }
 
     #[test]

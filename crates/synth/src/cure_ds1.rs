@@ -64,20 +64,44 @@ pub fn dataset1(total_points: usize, seed: u64) -> SyntheticDataset {
     assert!(total_points >= 5, "need at least one point per cluster");
     let shapes = [
         // Big sparse circle, left half of the domain.
-        Shape::Circle { cx: 0.32, cy: 0.42, r: 0.27 },
+        Shape::Circle {
+            cx: 0.32,
+            cy: 0.42,
+            r: 0.27,
+        },
         // Two small dense circles, upper right, close together (as in the
         // original dataset1 plot).
-        Shape::Circle { cx: 0.72, cy: 0.82, r: 0.07 },
-        Shape::Circle { cx: 0.90, cy: 0.82, r: 0.07 },
+        Shape::Circle {
+            cx: 0.72,
+            cy: 0.82,
+            r: 0.07,
+        },
+        Shape::Circle {
+            cx: 0.90,
+            cy: 0.82,
+            r: 0.07,
+        },
         // Two close parallel ellipses, lower right.
-        Shape::Ellipse { cx: 0.78, cy: 0.375, rx: 0.16, ry: 0.05 },
-        Shape::Ellipse { cx: 0.78, cy: 0.225, rx: 0.16, ry: 0.05 },
+        Shape::Ellipse {
+            cx: 0.78,
+            cy: 0.375,
+            rx: 0.16,
+            ry: 0.05,
+        },
+        Shape::Ellipse {
+            cx: 0.78,
+            cy: 0.225,
+            rx: 0.16,
+            ry: 0.05,
+        },
     ];
     // Share of points per shape: the big circle gets 50 %, the rest split
     // the remainder (the small circles end up much denser).
     let fractions = [0.5, 0.125, 0.125, 0.125, 0.125];
-    let mut sizes: Vec<usize> =
-        fractions.iter().map(|f| (f * total_points as f64).floor() as usize).collect();
+    let mut sizes: Vec<usize> = fractions
+        .iter()
+        .map(|f| (f * total_points as f64).floor() as usize)
+        .collect();
     let assigned: usize = sizes.iter().sum();
     sizes[0] += total_points - assigned;
 
@@ -93,7 +117,11 @@ pub fn dataset1(total_points: usize, seed: u64) -> SyntheticDataset {
         }
     }
     let regions = shapes.iter().map(|s| s.bbox()).collect();
-    SyntheticDataset { data, labels, regions }
+    SyntheticDataset {
+        data,
+        labels,
+        regions,
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +153,10 @@ mod tests {
         let ds = dataset1(20_000, 3);
         let sizes = ds.cluster_sizes();
         let density = |ci: usize| sizes[ci] as f64 / ds.regions[ci].volume();
-        assert!(density(1) > 2.0 * density(0), "small circles must be denser");
+        assert!(
+            density(1) > 2.0 * density(0),
+            "small circles must be denser"
+        );
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub struct GaussCluster {
 /// Generates a Gaussian mixture in `[0,1]^d`.
 pub fn generate(clusters: &[GaussCluster], seed: u64) -> Result<SyntheticDataset> {
     if clusters.is_empty() {
-        return Err(Error::InvalidParameter("need at least one component".into()));
+        return Err(Error::InvalidParameter(
+            "need at least one component".into(),
+        ));
     }
     let d = clusters[0].center.len();
     if d == 0 {
@@ -33,10 +35,15 @@ pub fn generate(clusters: &[GaussCluster], seed: u64) -> Result<SyntheticDataset
     }
     for (i, c) in clusters.iter().enumerate() {
         if c.center.len() != d {
-            return Err(Error::DimensionMismatch { expected: d, got: c.center.len() });
+            return Err(Error::DimensionMismatch {
+                expected: d,
+                got: c.center.len(),
+            });
         }
         if !(c.sigma > 0.0) {
-            return Err(Error::InvalidParameter(format!("component {i}: sigma must be > 0")));
+            return Err(Error::InvalidParameter(format!(
+                "component {i}: sigma must be > 0"
+            )));
         }
     }
     let total: usize = clusters.iter().map(|c| c.size).sum();
@@ -56,12 +63,24 @@ pub fn generate(clusters: &[GaussCluster], seed: u64) -> Result<SyntheticDataset
     let regions = clusters
         .iter()
         .map(|c| {
-            let min = c.center.iter().map(|&x| (x - 3.0 * c.sigma).max(0.0)).collect();
-            let max = c.center.iter().map(|&x| (x + 3.0 * c.sigma).min(1.0)).collect();
+            let min = c
+                .center
+                .iter()
+                .map(|&x| (x - 3.0 * c.sigma).max(0.0))
+                .collect();
+            let max = c
+                .center
+                .iter()
+                .map(|&x| (x + 3.0 * c.sigma).min(1.0))
+                .collect();
             BoundingBox::new(min, max)
         })
         .collect();
-    Ok(SyntheticDataset { data, labels, regions })
+    Ok(SyntheticDataset {
+        data,
+        labels,
+        regions,
+    })
 }
 
 /// Convenience: `k` equal-sized components on a diagonal with shared sigma.
@@ -112,7 +131,11 @@ mod tests {
     fn points_clamped_to_unit_cube() {
         // Component right at the corner: clamping must keep points legal.
         let synth = generate(
-            &[GaussCluster { center: vec![0.01, 0.99], sigma: 0.05, size: 1000 }],
+            &[GaussCluster {
+                center: vec![0.01, 0.99],
+                sigma: 0.05,
+                size: 1000,
+            }],
             3,
         )
         .unwrap();
@@ -125,14 +148,26 @@ mod tests {
     fn rejects_bad_inputs() {
         assert!(generate(&[], 0).is_err());
         assert!(generate(
-            &[GaussCluster { center: vec![0.5], sigma: 0.0, size: 10 }],
+            &[GaussCluster {
+                center: vec![0.5],
+                sigma: 0.0,
+                size: 10
+            }],
             0
         )
         .is_err());
         assert!(generate(
             &[
-                GaussCluster { center: vec![0.5, 0.5], sigma: 0.1, size: 10 },
-                GaussCluster { center: vec![0.5], sigma: 0.1, size: 10 }
+                GaussCluster {
+                    center: vec![0.5, 0.5],
+                    sigma: 0.1,
+                    size: 10
+                },
+                GaussCluster {
+                    center: vec![0.5],
+                    sigma: 0.1,
+                    size: 10
+                }
             ],
             0
         )

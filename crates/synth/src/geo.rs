@@ -62,8 +62,14 @@ fn metro_mixture(
         }
         let r = 3.0 * metro.sigma;
         regions.push(BoundingBox::new(
-            vec![(metro.center[0] - r).max(0.0), (metro.center[1] - r).max(0.0)],
-            vec![(metro.center[0] + r).min(1.0), (metro.center[1] + r).min(1.0)],
+            vec![
+                (metro.center[0] - r).max(0.0),
+                (metro.center[1] - r).max(0.0),
+            ],
+            vec![
+                (metro.center[0] + r).min(1.0),
+                (metro.center[1] + r).min(1.0),
+            ],
         ));
     }
 
@@ -91,7 +97,11 @@ fn metro_mixture(
         labels.push(NOISE_LABEL);
     }
 
-    SyntheticDataset { data, labels, regions }
+    SyntheticDataset {
+        data,
+        labels,
+        regions,
+    }
 }
 
 /// NorthEast-like dataset: 130 000 points, three dominant metropolitan
@@ -101,9 +111,21 @@ fn metro_mixture(
 pub fn northeast_like(seed: u64) -> SyntheticDataset {
     let metros = [
         // Positions loosely follow the NE corridor geometry (SW -> NE).
-        Metro { center: [0.35, 0.30], sigma: 0.016, share: 8.0 },  // NYC
-        Metro { center: [0.18, 0.16], sigma: 0.013, share: 3.0 },  // Philadelphia
-        Metro { center: [0.72, 0.70], sigma: 0.012, share: 2.5 },  // Boston
+        Metro {
+            center: [0.35, 0.30],
+            sigma: 0.016,
+            share: 8.0,
+        }, // NYC
+        Metro {
+            center: [0.18, 0.16],
+            sigma: 0.013,
+            share: 3.0,
+        }, // Philadelphia
+        Metro {
+            center: [0.72, 0.70],
+            sigma: 0.012,
+            share: 2.5,
+        }, // Boston
     ];
     metro_mixture(&metros, 30, 130_000, 0.55, seed)
 }
@@ -112,9 +134,21 @@ pub fn northeast_like(seed: u64) -> SyntheticDataset {
 /// plus inland scatter.
 pub fn california_like(seed: u64) -> SyntheticDataset {
     let metros = [
-        Metro { center: [0.62, 0.25], sigma: 0.018, share: 6.0 },  // LA basin
-        Metro { center: [0.22, 0.68], sigma: 0.014, share: 3.0 },  // Bay Area
-        Metro { center: [0.72, 0.10], sigma: 0.010, share: 1.5 },  // San Diego
+        Metro {
+            center: [0.62, 0.25],
+            sigma: 0.018,
+            share: 6.0,
+        }, // LA basin
+        Metro {
+            center: [0.22, 0.68],
+            sigma: 0.014,
+            share: 3.0,
+        }, // Bay Area
+        Metro {
+            center: [0.72, 0.10],
+            sigma: 0.010,
+            share: 1.5,
+        }, // San Diego
     ];
     metro_mixture(&metros, 20, 62_553, 0.50, seed)
 }
@@ -153,7 +187,11 @@ pub fn forest_cover_like(seed: u64) -> SyntheticDataset {
         let max = center.iter().map(|&x| (x + 3.0 * sigma).min(1.0)).collect();
         regions.push(BoundingBox::new(min, max));
     }
-    SyntheticDataset { data, labels, regions }
+    SyntheticDataset {
+        data,
+        labels,
+        regions,
+    }
 }
 
 #[cfg(test)]
@@ -185,7 +223,10 @@ mod tests {
         // Count points in the NYC region vs an equal-volume empty-ish box.
         let nyc = &ds.regions[0];
         let in_metro = ds.data.iter().filter(|p| nyc.contains(p)).count();
-        let probe = BoundingBox::new(vec![0.9, 0.4], vec![0.9 + nyc.extent(0), 0.4 + nyc.extent(1)]);
+        let probe = BoundingBox::new(
+            vec![0.9, 0.4],
+            vec![0.9 + nyc.extent(0), 0.4 + nyc.extent(1)],
+        );
         let in_probe = ds.data.iter().filter(|p| probe.contains(p)).count();
         assert!(
             in_metro > 10 * in_probe.max(1),

@@ -17,7 +17,10 @@ use crate::{SyntheticDataset, NOISE_LABEL};
 /// Number of uniform points to add so noise makes up `fraction` of the
 /// final dataset: `l·n` with `l = fn / (1 - fn)`.
 pub fn added_points_for_fraction(clustered: usize, fraction: f64) -> usize {
-    assert!((0.0..1.0).contains(&fraction), "noise fraction must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&fraction),
+        "noise fraction must be in [0,1)"
+    );
     let l = fraction / (1.0 - fraction);
     (l * clustered as f64).round() as usize
 }
@@ -25,7 +28,11 @@ pub fn added_points_for_fraction(clustered: usize, fraction: f64) -> usize {
 /// Appends uniform noise over `[0,1]^d` so that noise points make up
 /// `fraction` of the returned dataset. Labels of noise points are
 /// [`NOISE_LABEL`]; regions are unchanged.
-pub fn with_noise_fraction(mut synth: SyntheticDataset, fraction: f64, seed: u64) -> SyntheticDataset {
+pub fn with_noise_fraction(
+    mut synth: SyntheticDataset,
+    fraction: f64,
+    seed: u64,
+) -> SyntheticDataset {
     let add = added_points_for_fraction(synth.len(), fraction);
     let d = synth.data.dim();
     let mut rng = seeded(seed);
@@ -46,7 +53,10 @@ mod tests {
     use crate::rect::{generate, RectConfig, SizeProfile};
 
     fn base(seed: u64) -> SyntheticDataset {
-        let cfg = RectConfig { total_points: 2000, ..RectConfig::paper_standard(2, seed) };
+        let cfg = RectConfig {
+            total_points: 2000,
+            ..RectConfig::paper_standard(2, seed)
+        };
         generate(&cfg, &SizeProfile::Equal).unwrap()
     }
 

@@ -38,7 +38,9 @@ pub fn planted_outliers(
     seed: u64,
 ) -> Result<OutlierDataset> {
     if !(isolation > 0.0) || isolation >= 0.5 {
-        return Err(Error::InvalidParameter("isolation must be in (0, 0.5)".into()));
+        return Err(Error::InvalidParameter(
+            "isolation must be in (0, 0.5)".into(),
+        ));
     }
     let mut synth = generate(background, &SizeProfile::Equal)?;
     let d = synth.data.dim();
@@ -62,8 +64,9 @@ pub fn planted_outliers(
             .regions
             .iter()
             .all(|r| r.dist_sq_to_point(&candidate) > isolation * isolation);
-        let clear_of_outliers =
-            planted.iter().all(|o| euclidean(o, &candidate) > 2.0 * isolation);
+        let clear_of_outliers = planted
+            .iter()
+            .all(|o| euclidean(o, &candidate) > 2.0 * isolation);
         if clear_of_regions && clear_of_outliers {
             planted.push(candidate);
         }
@@ -86,7 +89,10 @@ mod tests {
     use super::*;
 
     fn background(seed: u64) -> RectConfig {
-        RectConfig { total_points: 5000, ..RectConfig::paper_standard(2, seed) }
+        RectConfig {
+            total_points: 5000,
+            ..RectConfig::paper_standard(2, seed)
+        }
     }
 
     #[test]

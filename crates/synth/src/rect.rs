@@ -65,11 +65,15 @@ pub fn generate(config: &RectConfig, profile: &SizeProfile) -> Result<SyntheticD
         return Err(Error::InvalidParameter("dim must be >= 1".into()));
     }
     if config.num_clusters == 0 || config.total_points == 0 {
-        return Err(Error::InvalidParameter("need at least one cluster and one point".into()));
+        return Err(Error::InvalidParameter(
+            "need at least one cluster and one point".into(),
+        ));
     }
     let (lo, hi) = config.volume_range;
     if !(lo > 0.0 && hi >= lo && hi <= 1.0) {
-        return Err(Error::InvalidParameter(format!("bad volume_range ({lo}, {hi})")));
+        return Err(Error::InvalidParameter(format!(
+            "bad volume_range ({lo}, {hi})"
+        )));
     }
     let k = config.num_clusters;
     let d = config.dim;
@@ -150,7 +154,11 @@ pub fn generate(config: &RectConfig, profile: &SizeProfile) -> Result<SyntheticD
             // point count is density * volume, normalized to total_points.
             let weights: Vec<f64> = (0..k)
                 .map(|i| {
-                    let t = if k > 1 { i as f64 / (k - 1) as f64 } else { 0.0 };
+                    let t = if k > 1 {
+                        i as f64 / (k - 1) as f64
+                    } else {
+                        0.0
+                    };
                     ratio.powf(t) * regions[i].volume()
                 })
                 .collect();
@@ -202,7 +210,11 @@ pub fn generate(config: &RectConfig, profile: &SizeProfile) -> Result<SyntheticD
             labels.push(ci);
         }
     }
-    Ok(SyntheticDataset { data, labels, regions })
+    Ok(SyntheticDataset {
+        data,
+        labels,
+        regions,
+    })
 }
 
 /// The smallest / largest per-cluster densities (points per unit volume) of
@@ -277,8 +289,7 @@ mod tests {
         let mut cfg = RectConfig::paper_standard(2, 5);
         cfg.num_clusters = 3;
         cfg.total_points = 60;
-        let synth =
-            generate(&cfg, &SizeProfile::Explicit(vec![10, 20, 30])).unwrap();
+        let synth = generate(&cfg, &SizeProfile::Explicit(vec![10, 20, 30])).unwrap();
         assert_eq!(synth.cluster_sizes(), vec![10, 20, 30]);
     }
 
@@ -302,7 +313,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = RectConfig { total_points: 500, ..RectConfig::paper_standard(2, 8) };
+        let cfg = RectConfig {
+            total_points: 500,
+            ..RectConfig::paper_standard(2, 8)
+        };
         let a = generate(&cfg, &SizeProfile::Equal).unwrap();
         let b = generate(&cfg, &SizeProfile::Equal).unwrap();
         assert_eq!(a.data, b.data);

@@ -21,13 +21,16 @@ pub fn zipf_sizes(num_clusters: usize, total: usize, exponent: f64) -> Result<Ve
         return Err(Error::InvalidParameter("need at least one cluster".into()));
     }
     if total < num_clusters {
-        return Err(Error::InvalidParameter("need at least one point per cluster".into()));
+        return Err(Error::InvalidParameter(
+            "need at least one point per cluster".into(),
+        ));
     }
     if !(exponent >= 0.0) {
         return Err(Error::InvalidParameter("exponent must be >= 0".into()));
     }
-    let weights: Vec<f64> =
-        (1..=num_clusters).map(|r| 1.0 / (r as f64).powf(exponent)).collect();
+    let weights: Vec<f64> = (1..=num_clusters)
+        .map(|r| 1.0 / (r as f64).powf(exponent))
+        .collect();
     let total_w: f64 = weights.iter().sum();
     let mut sizes: Vec<usize> = weights
         .iter()
@@ -52,10 +55,7 @@ pub fn zipf_sizes(num_clusters: usize, total: usize, exponent: f64) -> Result<Ve
 }
 
 /// Generates hyper-rectangular clusters whose sizes follow a zipf law.
-pub fn generate_zipf(
-    config: &RectConfig,
-    exponent: f64,
-) -> Result<SyntheticDataset> {
+pub fn generate_zipf(config: &RectConfig, exponent: f64) -> Result<SyntheticDataset> {
     let sizes = zipf_sizes(config.num_clusters, config.total_points, exponent)?;
     generate(config, &SizeProfile::Explicit(sizes))
 }
@@ -88,7 +88,10 @@ mod tests {
 
     #[test]
     fn generator_integration() {
-        let cfg = RectConfig { total_points: 10_000, ..RectConfig::paper_standard(2, 1) };
+        let cfg = RectConfig {
+            total_points: 10_000,
+            ..RectConfig::paper_standard(2, 1)
+        };
         let synth = generate_zipf(&cfg, 1.0).unwrap();
         assert_eq!(synth.len(), 10_000);
         let sizes = synth.cluster_sizes();

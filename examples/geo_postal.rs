@@ -23,20 +23,32 @@ fn main() -> dbs_core::Result<()> {
 
     let b = ne.len() / 100; // 1% sample, per the practitioner's guide
     let k = ne.num_clusters() + 2; // a little slack for secondary centers
-    let eval = EvalConfig { margin: 0.01, ..Default::default() };
+    let eval = EvalConfig {
+        margin: 0.01,
+        ..Default::default()
+    };
     let hc = HierarchicalConfig::paper_defaults(k);
 
     let kde = KernelDensityEstimator::fit_dataset(
         &ne.data,
-        &KdeConfig { domain: Some(BoundingBox::unit(2)), ..KdeConfig::with_centers(1000) },
+        &KdeConfig {
+            domain: Some(BoundingBox::unit(2)),
+            ..KdeConfig::with_centers(1000)
+        },
     )?;
     let (biased, _) = density_biased_sample(&ne.data, &kde, &BiasedConfig::new(b, 1.0))?;
-    let found_biased =
-        clusters_found(&hierarchical_cluster(biased.points(), &hc)?.clusters, &ne.regions, &eval);
+    let found_biased = clusters_found(
+        &hierarchical_cluster(biased.points(), &hc)?.clusters,
+        &ne.regions,
+        &eval,
+    );
 
     let uniform = bernoulli_sample(&ne.data, b, 42)?;
-    let found_uniform =
-        clusters_found(&hierarchical_cluster(uniform.points(), &hc)?.clusters, &ne.regions, &eval);
+    let found_uniform = clusters_found(
+        &hierarchical_cluster(uniform.points(), &hc)?.clusters,
+        &ne.regions,
+        &eval,
+    );
 
     let names = ["New York", "Philadelphia", "Boston"];
     println!("\nbiased a=1, 1% sample:  {found_biased}/3 metros found");
@@ -48,8 +60,14 @@ fn main() -> dbs_core::Result<()> {
     }
 
     println!("\nbiased sample (metros pop out):");
-    print!("{}", dbs_examples::ascii_plot(biased.points().iter().map(|p| (p[0], p[1])), 60, 20));
+    print!(
+        "{}",
+        dbs_examples::ascii_plot(biased.points().iter().map(|p| (p[0], p[1])), 60, 20)
+    );
     println!("uniform sample (rural scatter dominates):");
-    print!("{}", dbs_examples::ascii_plot(uniform.points().iter().map(|p| (p[0], p[1])), 60, 20));
+    print!(
+        "{}",
+        dbs_examples::ascii_plot(uniform.points().iter().map(|p| (p[0], p[1])), 60, 20)
+    );
     Ok(())
 }

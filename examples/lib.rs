@@ -51,7 +51,9 @@ mod tests {
 
     #[test]
     fn plot_marks_dense_cells() {
-        let pts = vec![(0.1, 0.1); 50].into_iter().chain(std::iter::once((0.9, 0.9)));
+        let pts = vec![(0.1, 0.1); 50]
+            .into_iter()
+            .chain(std::iter::once((0.9, 0.9)));
         let s = ascii_plot(pts, 10, 10);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 10);

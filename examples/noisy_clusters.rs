@@ -19,7 +19,10 @@ use dbs_synth::NOISE_LABEL;
 
 fn main() -> dbs_core::Result<()> {
     let clean = generate(
-        &RectConfig { total_points: 50_000, ..RectConfig::paper_standard(2, 11) },
+        &RectConfig {
+            total_points: 50_000,
+            ..RectConfig::paper_standard(2, 11)
+        },
         &SizeProfile::VariableDensity { ratio: 4.0 },
     )?;
     let noisy = with_noise_fraction(clean, 0.6, 12);
@@ -31,13 +34,19 @@ fn main() -> dbs_core::Result<()> {
     );
 
     let b = noisy.len() / 50; // 2% sample
-    let eval = EvalConfig { margin: 0.01, ..Default::default() };
+    let eval = EvalConfig {
+        margin: 0.01,
+        ..Default::default()
+    };
     let hc = HierarchicalConfig::paper_defaults(10);
 
     // Density-biased sample, a = 1.
     let kde = KernelDensityEstimator::fit_dataset(
         &noisy.data,
-        &KdeConfig { domain: Some(BoundingBox::unit(2)), ..KdeConfig::with_centers(1000) },
+        &KdeConfig {
+            domain: Some(BoundingBox::unit(2)),
+            ..KdeConfig::with_centers(1000)
+        },
     )?;
     let (biased, _) = density_biased_sample(&noisy.data, &kde, &BiasedConfig::new(b, 1.0))?;
     let noise_in_biased = biased
@@ -64,14 +73,26 @@ fn main() -> dbs_core::Result<()> {
         &eval,
     );
 
-    println!("\nbiased sample (a=1):  {} points, {:.0}% noise, {found_biased}/10 clusters found",
-        biased.len(), 100.0 * noise_in_biased as f64 / biased.len() as f64);
-    println!("uniform sample:       {} points, {:.0}% noise, {found_uniform}/10 clusters found",
-        uniform.len(), 100.0 * noise_in_uniform as f64 / uniform.len() as f64);
+    println!(
+        "\nbiased sample (a=1):  {} points, {:.0}% noise, {found_biased}/10 clusters found",
+        biased.len(),
+        100.0 * noise_in_biased as f64 / biased.len() as f64
+    );
+    println!(
+        "uniform sample:       {} points, {:.0}% noise, {found_uniform}/10 clusters found",
+        uniform.len(),
+        100.0 * noise_in_uniform as f64 / uniform.len() as f64
+    );
 
     println!("\nbiased sample plot (noise mostly gone):");
-    print!("{}", dbs_examples::ascii_plot(biased.points().iter().map(|p| (p[0], p[1])), 60, 20));
+    print!(
+        "{}",
+        dbs_examples::ascii_plot(biased.points().iter().map(|p| (p[0], p[1])), 60, 20)
+    );
     println!("uniform sample plot (noise everywhere):");
-    print!("{}", dbs_examples::ascii_plot(uniform.points().iter().map(|p| (p[0], p[1])), 60, 20));
+    print!(
+        "{}",
+        dbs_examples::ascii_plot(uniform.points().iter().map(|p| (p[0], p[1])), 60, 20)
+    );
     Ok(())
 }

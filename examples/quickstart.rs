@@ -18,12 +18,19 @@ use dbs_synth::rect::{generate, RectConfig, SizeProfile};
 fn main() -> dbs_core::Result<()> {
     // A 100k-point dataset with 10 rectangular clusters in [0,1]^2.
     let synth = generate(&RectConfig::paper_standard(2, 42), &SizeProfile::Equal)?;
-    println!("dataset: {} points, {} true clusters", synth.len(), synth.num_clusters());
+    println!(
+        "dataset: {} points, {} true clusters",
+        synth.len(),
+        synth.num_clusters()
+    );
 
     // One pass: 1000 kernel centers, Epanechnikov kernels, Scott bandwidth.
     let kde = KernelDensityEstimator::fit_dataset(
         &synth.data,
-        &KdeConfig { domain: Some(BoundingBox::unit(2)), ..KdeConfig::with_centers(1000) },
+        &KdeConfig {
+            domain: Some(BoundingBox::unit(2)),
+            ..KdeConfig::with_centers(1000)
+        },
     )?;
     println!(
         "estimator: {} centers, bandwidths {:?}",
@@ -32,8 +39,11 @@ fn main() -> dbs_core::Result<()> {
     );
 
     // Two passes: normalize, then include x with probability ∝ f(x)^a.
-    let (sample, stats) =
-        density_biased_sample(&synth.data, &kde, &BiasedConfig::new(1000, 1.0).with_seed(7))?;
+    let (sample, stats) = density_biased_sample(
+        &synth.data,
+        &kde,
+        &BiasedConfig::new(1000, 1.0).with_seed(7),
+    )?;
     println!(
         "sample: {} points (target 1000), normalizer k = {:.1}, {} clipped",
         sample.len(),

@@ -38,12 +38,18 @@ fn main() -> dbs_core::Result<()> {
     );
 
     let b = synth.len() / 50; // 2%
-    let eval = EvalConfig { margin: 0.01, ..Default::default() };
+    let eval = EvalConfig {
+        margin: 0.01,
+        ..Default::default()
+    };
     let hc = HierarchicalConfig::paper_defaults(10);
 
     let kde = KernelDensityEstimator::fit_dataset(
         &synth.data,
-        &KdeConfig { domain: Some(BoundingBox::unit(2)), ..KdeConfig::with_centers(1000) },
+        &KdeConfig {
+            domain: Some(BoundingBox::unit(2)),
+            ..KdeConfig::with_centers(1000)
+        },
     )?;
 
     for a in [-0.5, -0.25] {
@@ -56,8 +62,11 @@ fn main() -> dbs_core::Result<()> {
                 small_counts[l - 5] += 1;
             }
         }
-        let found =
-            clusters_found(&hierarchical_cluster(s.points(), &hc)?.clusters, &synth.regions, &eval);
+        let found = clusters_found(
+            &hierarchical_cluster(s.points(), &hc)?.clusters,
+            &synth.regions,
+            &eval,
+        );
         println!(
             "biased a={a:>5}: {} points, small-cluster sample counts {:?}, {found}/10 found",
             s.len(),
@@ -73,8 +82,11 @@ fn main() -> dbs_core::Result<()> {
             small_counts[l - 5] += 1;
         }
     }
-    let found =
-        clusters_found(&hierarchical_cluster(u.points(), &hc)?.clusters, &synth.regions, &eval);
+    let found = clusters_found(
+        &hierarchical_cluster(u.points(), &hc)?.clusters,
+        &synth.regions,
+        &eval,
+    );
     println!(
         "uniform:        {} points, small-cluster sample counts {:?}, {found}/10 found",
         u.len(),

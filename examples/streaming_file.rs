@@ -18,7 +18,10 @@ fn main() -> dbs_core::Result<()> {
     // Write a dataset to a temporary binary file, as if it were a large
     // external extract.
     let synth = generate(
-        &RectConfig { total_points: 50_000, ..RectConfig::paper_standard(3, 51) },
+        &RectConfig {
+            total_points: 50_000,
+            ..RectConfig::paper_standard(3, 51)
+        },
         &SizeProfile::Equal,
     )?;
     let mut path = std::env::temp_dir();
@@ -29,7 +32,11 @@ fn main() -> dbs_core::Result<()> {
     // Open it as a streaming source and count the passes the pipeline does.
     let file = FileSource::open(&path)?;
     let counted = PassCounter::new(&file);
-    println!("source: {} points, {} dimensions", counted.len(), counted.dim());
+    println!(
+        "source: {} points, {} dimensions",
+        counted.len(),
+        counted.dim()
+    );
 
     let kde = KernelDensityEstimator::fit(&counted, &KdeConfig::with_centers(1000))?;
     println!("estimator pass done ({} so far)", counted.passes());

@@ -1,0 +1,27 @@
+# Development shortcuts. `just check` is the pre-commit gate.
+
+# Format check + lints + tests, exactly as CI would run them.
+check:
+    cargo fmt --check
+    cargo clippy --workspace -- -D warnings
+    cargo test -q
+
+# Apply formatting in place.
+fmt:
+    cargo fmt
+
+# Full test suite with output.
+test:
+    cargo test --workspace
+
+# Release build of every binary and bench.
+build:
+    cargo build --release --workspace --benches
+
+# Run every benchmark; set CRITERION_JSON=<file> to capture JSON lines.
+bench:
+    cargo bench --workspace
+
+# Regenerate the CI-sized versions of every paper figure/table.
+experiments:
+    cargo run --release -p dbs-experiments -- all

@@ -15,7 +15,7 @@ fn tmp(name: &str) -> PathBuf {
 
 fn run_cli(argv: &[&str]) -> Result<String, String> {
     let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
-    let parsed = parse(&args).map_err(|e| e)?;
+    let parsed = parse(&args)?;
     let mut out = Vec::new();
     run(&parsed, &mut out)?;
     Ok(String::from_utf8(out).expect("utf8 output"))
@@ -107,11 +107,21 @@ fn sample_exponent_changes_the_sample() {
     let path = tmp("exp.txt");
     write_text(&path, &synth.data).unwrap();
     let dense = run_cli(&[
-        "sample", path.to_str().unwrap(), "--size", "200", "--exponent", "1.0",
+        "sample",
+        path.to_str().unwrap(),
+        "--size",
+        "200",
+        "--exponent",
+        "1.0",
     ])
     .unwrap();
     let uniform = run_cli(&[
-        "sample", path.to_str().unwrap(), "--size", "200", "--exponent", "0.0",
+        "sample",
+        path.to_str().unwrap(),
+        "--size",
+        "200",
+        "--exponent",
+        "0.0",
     ])
     .unwrap();
     // The normalizer k differs radically between exponents (n vs Σf).

@@ -29,16 +29,12 @@ fn backends(data: &Dataset, dim: usize) -> Vec<(String, Box<dyn DensityEstimator
         (
             "hashgrid".into(),
             // Generous table: few collisions, so the contract holds.
-            Box::new(
-                HashGridEstimator::fit(data, BoundingBox::unit(dim), 16, 1 << 16).unwrap(),
-            ),
+            Box::new(HashGridEstimator::fit(data, BoundingBox::unit(dim), 16, 1 << 16).unwrap()),
         ),
         (
             "wavelet".into(),
             // Half the coefficients kept: lossy but structure-preserving.
-            Box::new(
-                WaveletEstimator::fit(data, BoundingBox::unit(dim), 4, 128).unwrap(),
-            ),
+            Box::new(WaveletEstimator::fit(data, BoundingBox::unit(dim), 4, 128).unwrap()),
         ),
     ]
 }
@@ -87,7 +83,10 @@ fn box_integral_approximates_point_count() {
             let truth = synth.data.iter().filter(|p| probe.contains(p)).count() as f64;
             let got = est.integrate_box(probe);
             let rel = (got - truth).abs() / truth.max(1.0);
-            assert!(rel < 0.2, "{name}: half-domain integral {got} vs count {truth}");
+            assert!(
+                rel < 0.2,
+                "{name}: half-domain integral {got} vs count {truth}"
+            );
         }
     }
 }
@@ -149,7 +148,11 @@ fn clustered_data_has_contrast() {
         'search: for i in 0..40 {
             for j in 0..40 {
                 let cand = vec![i as f64 / 39.0, j as f64 / 39.0];
-                if synth.regions.iter().all(|r| r.inflate(0.08).dist_sq_to_point(&cand) > 0.0) {
+                if synth
+                    .regions
+                    .iter()
+                    .all(|r| r.inflate(0.08).dist_sq_to_point(&cand) > 0.0)
+                {
                     out = cand;
                     break 'search;
                 }

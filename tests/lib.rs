@@ -8,7 +8,10 @@ use dbs_synth::SyntheticDataset;
 /// The standard clustered workload used across the integration tests:
 /// `n` points, 10 equal rectangular clusters in `[0,1]^dim`.
 pub fn clustered(n: usize, dim: usize, seed: u64) -> SyntheticDataset {
-    let cfg = RectConfig { total_points: n, ..RectConfig::paper_standard(dim, seed) };
+    let cfg = RectConfig {
+        total_points: n,
+        ..RectConfig::paper_standard(dim, seed)
+    };
     generate(&cfg, &SizeProfile::Equal).expect("generation succeeds at test sizes")
 }
 
@@ -22,8 +25,10 @@ pub fn noise_share(synth: &SyntheticDataset, indices: &[usize]) -> f64 {
     if indices.is_empty() {
         return 0.0;
     }
-    let noise =
-        indices.iter().filter(|&&i| synth.labels[i] == dbs_synth::NOISE_LABEL).count();
+    let noise = indices
+        .iter()
+        .filter(|&&i| synth.labels[i] == dbs_synth::NOISE_LABEL)
+        .count();
     noise as f64 / indices.len() as f64
 }
 

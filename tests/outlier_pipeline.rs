@@ -11,7 +11,10 @@ use dbs_synth::outliers::planted_outliers;
 use dbs_synth::rect::RectConfig;
 
 fn workload(dim: usize, seed: u64) -> (dbs_core::Dataset, Vec<usize>, f64) {
-    let background = RectConfig { total_points: 8_000, ..RectConfig::paper_standard(dim, seed) };
+    let background = RectConfig {
+        total_points: 8_000,
+        ..RectConfig::paper_standard(dim, seed)
+    };
     let radius: f64 = if dim == 2 { 0.03 } else { 0.06 };
     // Isolation comfortably beyond the kernel support (Scott bandwidth at
     // 500 centers is ~0.1): an outlier closer than the bandwidth to a dense
@@ -51,13 +54,19 @@ fn approx_detector_recovers_exact_set_with_kde() {
         let report = approx_outliers(
             &data,
             &est,
-            &ApproxConfig { slack: 10.0, ..ApproxConfig::new(params) },
+            &ApproxConfig {
+                slack: 10.0,
+                ..ApproxConfig::new(params)
+            },
         )
         .unwrap();
         let exact = nested_loop_outliers(&data, &params);
         assert_eq!(report.outliers, exact, "{dim}-d mismatch");
         for p in &planted {
-            assert!(report.outliers.contains(p), "{dim}-d missed planted outlier {p}");
+            assert!(
+                report.outliers.contains(p),
+                "{dim}-d missed planted outlier {p}"
+            );
         }
     }
 }
@@ -70,7 +79,10 @@ fn approx_detector_works_with_grid_backend() {
     let report = approx_outliers(
         &data,
         &grid,
-        &ApproxConfig { slack: 10.0, ..ApproxConfig::new(params) },
+        &ApproxConfig {
+            slack: 10.0,
+            ..ApproxConfig::new(params)
+        },
     )
     .unwrap();
     for p in &planted {
@@ -97,8 +109,9 @@ fn one_pass_count_estimate_tracks_parameter_changes() {
     // be monotone in that direction.
     let tight = DbOutlierParams::new(radius, 2).unwrap();
     let loose = DbOutlierParams::new(radius * 4.0, 2).unwrap();
-    let n_tight = estimate_outlier_count(&data, &est, &tight, 64, 7).unwrap();
-    let n_loose = estimate_outlier_count(&data, &est, &loose, 64, 7).unwrap();
+    let threads = dbs_core::par::available_parallelism();
+    let n_tight = estimate_outlier_count(&data, &est, &tight, 64, 7, threads).unwrap();
+    let n_loose = estimate_outlier_count(&data, &est, &loose, 64, 7, threads).unwrap();
     assert!(n_tight >= n_loose, "tight {n_tight} < loose {n_loose}");
     assert!(n_tight >= 6, "estimate {n_tight} misses planted outliers");
 }

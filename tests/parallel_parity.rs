@@ -1,0 +1,149 @@
+//! Determinism contract of the parallel execution layer: every algorithm
+//! that takes a `parallelism` knob must produce **byte-identical** output
+//! for every thread count, with `1` reproducing the serial path.
+//!
+//! All float comparisons go through `to_bits`, so `-0.0` vs `0.0` or NaN
+//! payload differences would fail — "identical" here means identical down
+//! to the bit pattern.
+
+use std::num::NonZeroUsize;
+
+use dbs_core::{BoundingBox, Dataset, WeightedSample};
+use dbs_density::{DensityEstimator, KdeConfig, KernelDensityEstimator};
+use dbs_outlier::{approx_outliers, ApproxConfig, DbOutlierParams};
+use dbs_sampling::{density_biased_sample, one_pass_biased_sample, BiasedConfig};
+
+use dbs_integration_tests::clustered_noisy;
+
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn nz(t: usize) -> NonZeroUsize {
+    NonZeroUsize::new(t).expect("thread counts under test are positive")
+}
+
+/// The fixed-seed 50k-point workload shared by every parity test.
+fn workload() -> (Dataset, KernelDensityEstimator) {
+    let synth = clustered_noisy(50_000, 2, 0.2, 42);
+    let cfg = KdeConfig {
+        domain: Some(BoundingBox::unit(2)),
+        seed: 7,
+        ..KdeConfig::with_centers(300)
+    };
+    let est = KernelDensityEstimator::fit_dataset(&synth.data, &cfg)
+        .expect("KDE fit succeeds on the synthetic workload");
+    (synth.data, est)
+}
+
+fn bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+fn assert_samples_identical(a: &WeightedSample, b: &WeightedSample, what: &str) {
+    assert_eq!(
+        a.source_indices(),
+        b.source_indices(),
+        "{what}: indices differ"
+    );
+    assert_eq!(
+        bits(a.weights()),
+        bits(b.weights()),
+        "{what}: weights differ"
+    );
+    assert_eq!(
+        bits(a.points().as_flat()),
+        bits(b.points().as_flat()),
+        "{what}: point coordinates differ"
+    );
+}
+
+#[test]
+fn kde_batch_densities_are_thread_count_independent() {
+    let (data, est) = workload();
+    let serial = est.densities(&data, nz(1)).unwrap();
+    // The batch path must also agree with per-point evaluation.
+    for (i, &d) in serial.iter().take(100).enumerate() {
+        assert_eq!(
+            d.to_bits(),
+            est.density(data.point(i)).to_bits(),
+            "point {i}"
+        );
+    }
+    for t in THREADS {
+        let par = est.densities(&data, nz(t)).unwrap();
+        assert_eq!(bits(&serial), bits(&par), "threads={t}");
+    }
+}
+
+#[test]
+fn two_pass_sampler_is_thread_count_independent() {
+    let (data, est) = workload();
+    let base = BiasedConfig::new(2000, 1.0).with_seed(99);
+    let (serial, serial_stats) =
+        density_biased_sample(&data, &est, &base.clone().with_parallelism(nz(1))).unwrap();
+    for t in THREADS {
+        let cfg = base.clone().with_parallelism(nz(t));
+        let (par, stats) = density_biased_sample(&data, &est, &cfg).unwrap();
+        assert_samples_identical(&serial, &par, &format!("two-pass, threads={t}"));
+        assert_eq!(
+            serial_stats.normalizer_k.to_bits(),
+            stats.normalizer_k.to_bits()
+        );
+        assert_eq!(serial_stats.clipped, stats.clipped);
+        assert_eq!(stats.passes, 2);
+    }
+}
+
+#[test]
+fn one_pass_sampler_is_thread_count_independent() {
+    let (data, est) = workload();
+    let base = BiasedConfig::new(2000, -0.5).with_seed(17);
+    let (serial, serial_stats) =
+        one_pass_biased_sample(&data, &est, &base.clone().with_parallelism(nz(1))).unwrap();
+    for t in THREADS {
+        let cfg = base.clone().with_parallelism(nz(t));
+        let (par, stats) = one_pass_biased_sample(&data, &est, &cfg).unwrap();
+        assert_samples_identical(&serial, &par, &format!("one-pass, threads={t}"));
+        assert_eq!(
+            serial_stats.normalizer_k.to_bits(),
+            stats.normalizer_k.to_bits()
+        );
+        assert_eq!(serial_stats.clipped, stats.clipped);
+        assert_eq!(stats.passes, 1);
+    }
+}
+
+#[test]
+fn approx_outlier_detector_is_thread_count_independent() {
+    let (data, est) = workload();
+    let params = DbOutlierParams::new(0.02, 3).unwrap();
+    let base = ApproxConfig {
+        slack: 5.0,
+        seed: 3,
+        ..ApproxConfig::new(params)
+    };
+    let serial = approx_outliers(
+        &data,
+        &est,
+        &ApproxConfig {
+            parallelism: nz(1),
+            ..base.clone()
+        },
+    )
+    .unwrap();
+    for t in THREADS {
+        let cfg = ApproxConfig {
+            parallelism: nz(t),
+            ..base.clone()
+        };
+        let par = approx_outliers(&data, &est, &cfg).unwrap();
+        assert_eq!(
+            serial.outliers, par.outliers,
+            "threads={t}: outlier sets differ"
+        );
+        assert_eq!(
+            serial.candidates, par.candidates,
+            "threads={t}: candidate counts differ"
+        );
+        assert_eq!(serial.passes, par.passes, "threads={t}: pass counts differ");
+    }
+}

@@ -9,10 +9,7 @@ use dbs_sampling::theory::{
 use dbs_spatial::KdTree;
 use proptest::prelude::*;
 
-fn arb_points(
-    max_n: usize,
-    dim: usize,
-) -> impl Strategy<Value = Vec<Vec<f64>>> {
+fn arb_points(max_n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(
         prop::collection::vec(-1000.0f64..1000.0, dim..=dim),
         1..max_n,

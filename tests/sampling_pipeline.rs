@@ -40,13 +40,19 @@ fn negative_exponent_raises_sparse_cluster_share() {
     // sample share relative to uniform sampling.
     let synth = {
         use dbs_synth::rect::{generate, RectConfig, SizeProfile};
-        let cfg = RectConfig { total_points: 30_000, ..RectConfig::paper_standard(2, 4) };
+        let cfg = RectConfig {
+            total_points: 30_000,
+            ..RectConfig::paper_standard(2, 4)
+        };
         generate(&cfg, &SizeProfile::VariableDensity { ratio: 10.0 }).unwrap()
     };
     let est = kde(&synth.data, 500, 5);
-    let (biased, _) =
-        density_biased_sample(&synth.data, &est, &BiasedConfig::new(1500, -0.5).with_seed(6))
-            .unwrap();
+    let (biased, _) = density_biased_sample(
+        &synth.data,
+        &est,
+        &BiasedConfig::new(1500, -0.5).with_seed(6),
+    )
+    .unwrap();
     let sizes = synth.cluster_sizes();
     // Cluster 0 is the sparsest by construction.
     let biased_share = biased
@@ -89,7 +95,10 @@ fn one_pass_and_two_pass_agree_statistically() {
     assert!(k_rel < 0.1, "normalizer mismatch {k_rel}");
     let share2 = noise_share(&synth, two.source_indices());
     let share1 = noise_share(&synth, one.source_indices());
-    assert!((share1 - share2).abs() < 0.08, "noise shares {share1} vs {share2}");
+    assert!(
+        (share1 - share2).abs() < 0.08,
+        "noise shares {share1} vs {share2}"
+    );
 }
 
 #[test]
@@ -99,9 +108,12 @@ fn grid_estimator_backend_matches_kde_direction() {
     let synth = clustered_noisy(20_000, 2, 0.5, 13);
     let grid = GridEstimator::fit(&synth.data, BoundingBox::unit(2), 24).unwrap();
     assert_eq!(grid.dataset_size(), synth.len() as f64);
-    let (biased, _) =
-        density_biased_sample(&synth.data, &grid, &BiasedConfig::new(600, 1.0).with_seed(14))
-            .unwrap();
+    let (biased, _) = density_biased_sample(
+        &synth.data,
+        &grid,
+        &BiasedConfig::new(600, 1.0).with_seed(14),
+    )
+    .unwrap();
     let uniform = bernoulli_sample(&synth.data, 600, 14).unwrap();
     assert!(
         noise_share(&synth, biased.source_indices())
@@ -113,7 +125,10 @@ fn grid_estimator_backend_matches_kde_direction() {
 fn palmer_faloutsos_sampler_oversamples_sparse_cells() {
     let synth = {
         use dbs_synth::rect::{generate, RectConfig, SizeProfile};
-        let cfg = RectConfig { total_points: 30_000, ..RectConfig::paper_standard(2, 15) };
+        let cfg = RectConfig {
+            total_points: 30_000,
+            ..RectConfig::paper_standard(2, 15)
+        };
         generate(&cfg, &SizeProfile::VariableDensity { ratio: 10.0 }).unwrap()
     };
     let (s, _) = grid_biased_sample(
@@ -122,19 +137,29 @@ fn palmer_faloutsos_sampler_oversamples_sparse_cells() {
     )
     .unwrap();
     let sizes = synth.cluster_sizes();
-    let share0 = s.source_indices().iter().filter(|&&i| synth.labels[i] == 0).count() as f64
+    let share0 = s
+        .source_indices()
+        .iter()
+        .filter(|&&i| synth.labels[i] == 0)
+        .count() as f64
         / s.len() as f64;
     let pop0 = sizes[0] as f64 / synth.len() as f64;
-    assert!(share0 > pop0, "sparse cluster share {share0} vs population {pop0}");
+    assert!(
+        share0 > pop0,
+        "sparse cluster share {share0} vs population {pop0}"
+    );
 }
 
 #[test]
 fn sampler_indices_always_reference_source_points() {
     let synth = clustered(5_000, 3, 17);
     let est = kde(&synth.data, 300, 18);
-    let (s, _) =
-        density_biased_sample(&synth.data, &est, &BiasedConfig::new(250, 0.5).with_seed(19))
-            .unwrap();
+    let (s, _) = density_biased_sample(
+        &synth.data,
+        &est,
+        &BiasedConfig::new(250, 0.5).with_seed(19),
+    )
+    .unwrap();
     assert!(PointSource::len(&synth.data) >= s.len());
     for (pos, &i) in s.source_indices().iter().enumerate() {
         assert_eq!(s.points().point(pos), synth.data.point(i));

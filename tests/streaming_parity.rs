@@ -83,7 +83,11 @@ fn file_pass_counting_matches_algorithm_claims() {
     let counted = PassCounter::new(&file);
     assert_eq!(PointSource::len(&counted), 5_000);
 
-    let kde_cfg = KdeConfig { num_centers: 200, seed: 9, ..Default::default() };
+    let kde_cfg = KdeConfig {
+        num_centers: 200,
+        seed: 9,
+        ..Default::default()
+    };
     let est = KernelDensityEstimator::fit(&counted, &kde_cfg).unwrap();
     assert_eq!(counted.passes(), 1, "estimator = one pass");
     let _ = density_biased_sample(&counted, &est, &BiasedConfig::new(100, 0.5)).unwrap();
