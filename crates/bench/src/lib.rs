@@ -20,6 +20,16 @@ pub fn bench_workload(n: usize, seed: u64) -> SyntheticDataset {
     generate(&cfg, &SizeProfile::Equal).expect("bench workload generates")
 }
 
+/// [`bench_workload`] at an arbitrary dimensionality (10 equal clusters in
+/// `[0,1]^dim`).
+pub fn bench_workload_dim(n: usize, dim: usize, seed: u64) -> SyntheticDataset {
+    let cfg = RectConfig {
+        total_points: n,
+        ..RectConfig::paper_standard(dim, seed)
+    };
+    generate(&cfg, &SizeProfile::Equal).expect("bench workload generates")
+}
+
 /// Noisy variant.
 pub fn bench_workload_noisy(n: usize, noise: f64, seed: u64) -> SyntheticDataset {
     with_noise_fraction(bench_workload(n, seed), noise, seed ^ 0xbe)

@@ -66,19 +66,23 @@ impl KdeConfig {
 /// A fitted product-kernel density estimator.
 #[derive(Debug, Clone)]
 pub struct KernelDensityEstimator {
-    centers: Dataset,
+    pub(crate) centers: Dataset,
     bandwidths: Vec<f64>,
-    inv_bandwidths: Vec<f64>,
+    pub(crate) inv_bandwidths: Vec<f64>,
     /// `(n / ks) * Π_j (1/h_j)` — the constant factor of every evaluation.
-    scale: f64,
+    pub(crate) scale: f64,
     n: f64,
-    kernel: Kernel,
+    pub(crate) kernel: Kernel,
     domain: BoundingBox,
     /// Bucket grid over the centers (only for finite-support kernels where
     /// pruning pays off); `None` falls back to scanning all centers.
-    center_grid: Option<GridIndex>,
+    pub(crate) center_grid: Option<GridIndex>,
     /// L∞ pruning radius: `max_j h_j * support_radius`.
-    prune_radius: f64,
+    pub(crate) prune_radius: f64,
+    /// The centers transposed into structure-of-arrays layout — dimension
+    /// `j`'s coordinates at `[j * ks .. (j + 1) * ks]` — so the batch
+    /// engine can gather contiguous candidate panels.
+    pub(crate) centers_soa: Vec<f64>,
 }
 
 impl KernelDensityEstimator {
@@ -219,6 +223,14 @@ impl KernelDensityEstimator {
             None
         };
 
+        let ks_len = centers.len();
+        let mut centers_soa = vec![0.0f64; dim * ks_len];
+        for (i, p) in centers.iter().enumerate() {
+            for j in 0..dim {
+                centers_soa[j * ks_len + i] = p[j];
+            }
+        }
+
         KernelDensityEstimator {
             centers,
             bandwidths,
@@ -229,6 +241,7 @@ impl KernelDensityEstimator {
             domain,
             center_grid,
             prune_radius,
+            centers_soa,
         }
     }
 
@@ -250,6 +263,30 @@ impl KernelDensityEstimator {
     /// The domain box the estimator was configured with.
     pub fn domain(&self) -> &BoundingBox {
         &self.domain
+    }
+
+    /// Whether evaluations prune centers through a bucket grid (compact
+    /// kernels with enough centers) or scan all of them.
+    pub fn has_center_grid(&self) -> bool {
+        self.center_grid.is_some()
+    }
+
+    /// The kernel mass of center `c` inside `bbox`: the product over
+    /// dimensions of the CDF difference across the box, or 0 when some
+    /// dimension contributes nothing.
+    #[inline]
+    fn box_mass(&self, bbox: &BoundingBox, c: &[f64]) -> f64 {
+        let mut prod = 1.0;
+        for j in 0..c.len() {
+            let lo = (bbox.min()[j] - c[j]) * self.inv_bandwidths[j];
+            let hi = (bbox.max()[j] - c[j]) * self.inv_bandwidths[j];
+            let mass = self.kernel.cdf(hi) - self.kernel.cdf(lo);
+            if mass <= 0.0 {
+                return 0.0;
+            }
+            prod *= mass;
+        }
+        prod
     }
 
     #[inline]
@@ -296,29 +333,51 @@ impl DensityEstimator for KernelDensityEstimator {
 
     /// Exact box integral: product kernels integrate separably via the
     /// kernel CDF, so no quadrature is needed.
+    ///
+    /// Centers whose support box (`center ± h_j · support_radius` per
+    /// dimension) cannot intersect `bbox` contribute exactly zero mass, so
+    /// when a center grid exists only the cells around the (inflated) query
+    /// box are scanned. The grid yields candidates in ascending center
+    /// index and skipped centers contribute exact zeros, so the pruned sum
+    /// is bit-identical to the full scan.
     fn integrate_box(&self, bbox: &BoundingBox) -> f64 {
         assert_eq!(bbox.dim(), self.dim());
         let ks = self.centers.len() as f64;
         let mut acc = 0.0;
-        for c in self.centers.iter() {
-            let mut prod = 1.0;
-            for j in 0..self.dim() {
-                let lo = (bbox.min()[j] - c[j]) * self.inv_bandwidths[j];
-                let hi = (bbox.max()[j] - c[j]) * self.inv_bandwidths[j];
-                let mass = self.kernel.cdf(hi) - self.kernel.cdf(lo);
-                if mass <= 0.0 {
-                    prod = 0.0;
-                    break;
+        match &self.center_grid {
+            Some(grid) => {
+                // One L∞ ball covering every center with intersecting
+                // support: box midpoint, radius = largest half-extent plus
+                // the pruning radius (`max_j h_j * support_radius`).
+                let d = self.dim();
+                let mut mid = vec![0.0f64; d];
+                let mut half = 0.0f64;
+                for j in 0..d {
+                    mid[j] = 0.5 * (bbox.min()[j] + bbox.max()[j]);
+                    half = half.max(0.5 * (bbox.max()[j] - bbox.min()[j]));
                 }
-                prod *= mass;
+                grid.for_each_candidate_within(&mid, half + self.prune_radius, |ci| {
+                    acc += self.box_mass(bbox, self.centers.point(ci as usize));
+                });
             }
-            acc += prod;
+            None => {
+                for c in self.centers.iter() {
+                    acc += self.box_mass(bbox, c);
+                }
+            }
         }
         self.n / ks * acc
     }
 
     fn average_density(&self) -> f64 {
         self.n / self.domain.volume()
+    }
+
+    /// The cache-blocked batch engine (see [`crate::batch`]): tile-shared
+    /// candidate pruning + SoA panels + register-blocked micro-kernels,
+    /// bit-identical to per-point [`DensityEstimator::density`] calls.
+    fn densities_into(&self, points: &Dataset, range: std::ops::Range<usize>, out: &mut [f64]) {
+        crate::batch::kde_densities_into(self, points, range, out);
     }
 }
 
@@ -417,6 +476,28 @@ mod tests {
             let a = est.density(&x);
             let b = no_grid.density(&x);
             assert!((a - b).abs() < 1e-9 * (1.0 + b), "pruned {a} vs full {b}");
+        }
+    }
+
+    #[test]
+    fn integrate_box_pruning_is_bit_identical_to_full_scan() {
+        let ds = uniform_dataset(3000, 2, 12);
+        let est = KernelDensityEstimator::fit_dataset(&ds, &KdeConfig::with_centers(400)).unwrap();
+        assert!(est.center_grid.is_some());
+        let no_grid = KernelDensityEstimator {
+            center_grid: None,
+            ..est.clone()
+        };
+        let mut rng = seeded(13);
+        for _ in 0..50 {
+            // Tiny through domain-sized query boxes.
+            let cx = rng.gen::<f64>();
+            let cy = rng.gen::<f64>();
+            let w = 0.01 + rng.gen::<f64>() * 0.6;
+            let bbox = BoundingBox::new(vec![cx - w, cy - w], vec![cx + w, cy + w]);
+            let pruned = est.integrate_box(&bbox);
+            let full = no_grid.integrate_box(&bbox);
+            assert_eq!(pruned.to_bits(), full.to_bits(), "box at ({cx},{cy}) w={w}");
         }
     }
 

@@ -6,6 +6,12 @@
 //! product integrates to 1 over `R^d` and the frequency scaling is carried
 //! entirely by the estimator.
 
+/// `sqrt(2π)`, the Gaussian normalization constant, precomputed once
+/// instead of on every evaluation. Bit-identical to
+/// `(2.0 * std::f64::consts::PI).sqrt()` (asserted in tests), so hoisting
+/// it does not perturb any density value.
+pub const SQRT_2PI: f64 = 2.5066282746310002;
+
 /// A one-dimensional smoothing kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Kernel {
@@ -23,40 +29,86 @@ pub enum Kernel {
     Uniform,
 }
 
+/// A kernel profile as a zero-sized type, so hot loops can monomorphize on
+/// the kernel instead of matching on the [`Kernel`] enum per evaluation.
+///
+/// Every implementation is the *single definition* of that kernel's math:
+/// [`Kernel::eval`] dispatches here, and the batch engine
+/// (`dbs_density::batch`) calls the same functions — which is what makes
+/// batch and scalar densities bit-identical by construction.
+pub trait KernelProfile {
+    /// Evaluates the profile at `u` (already scaled by the bandwidth).
+    fn eval(u: f64) -> f64;
+}
+
+/// Monomorphizable zero-sized stand-ins for each [`Kernel`] arm.
+pub mod profiles {
+    use super::{KernelProfile, SQRT_2PI};
+
+    /// `K(u) = 3/4 (1 - u^2)` on `[-1, 1]`.
+    pub struct Epanechnikov;
+    /// Truncated standard normal density.
+    pub struct Gaussian;
+    /// `K(u) = 15/16 (1 - u^2)^2` on `[-1, 1]`.
+    pub struct Biweight;
+    /// `K(u) = 1/2` on `[-1, 1]`.
+    pub struct Uniform;
+
+    impl KernelProfile for Epanechnikov {
+        #[inline(always)]
+        fn eval(u: f64) -> f64 {
+            if u.abs() >= 1.0 {
+                0.0
+            } else {
+                0.75 * (1.0 - u * u)
+            }
+        }
+    }
+
+    impl KernelProfile for Gaussian {
+        #[inline(always)]
+        fn eval(u: f64) -> f64 {
+            if u.abs() > 8.0 {
+                0.0
+            } else {
+                (-0.5 * u * u).exp() / SQRT_2PI
+            }
+        }
+    }
+
+    impl KernelProfile for Biweight {
+        #[inline(always)]
+        fn eval(u: f64) -> f64 {
+            if u.abs() >= 1.0 {
+                0.0
+            } else {
+                let t = 1.0 - u * u;
+                0.9375 * t * t
+            }
+        }
+    }
+
+    impl KernelProfile for Uniform {
+        #[inline(always)]
+        fn eval(u: f64) -> f64 {
+            if u.abs() > 1.0 {
+                0.0
+            } else {
+                0.5
+            }
+        }
+    }
+}
+
 impl Kernel {
     /// Evaluates the kernel at `u` (already scaled by the bandwidth).
     #[inline]
     pub fn eval(&self, u: f64) -> f64 {
         match self {
-            Kernel::Epanechnikov => {
-                if u.abs() >= 1.0 {
-                    0.0
-                } else {
-                    0.75 * (1.0 - u * u)
-                }
-            }
-            Kernel::Gaussian => {
-                if u.abs() > 8.0 {
-                    0.0
-                } else {
-                    (-0.5 * u * u).exp() / (2.0 * std::f64::consts::PI).sqrt()
-                }
-            }
-            Kernel::Biweight => {
-                if u.abs() >= 1.0 {
-                    0.0
-                } else {
-                    let t = 1.0 - u * u;
-                    0.9375 * t * t
-                }
-            }
-            Kernel::Uniform => {
-                if u.abs() > 1.0 {
-                    0.0
-                } else {
-                    0.5
-                }
-            }
+            Kernel::Epanechnikov => profiles::Epanechnikov::eval(u),
+            Kernel::Gaussian => profiles::Gaussian::eval(u),
+            Kernel::Biweight => profiles::Biweight::eval(u),
+            Kernel::Uniform => profiles::Uniform::eval(u),
         }
     }
 
@@ -200,6 +252,14 @@ mod tests {
             assert!((k.cdf(10.0) - 1.0).abs() < 1e-6);
             assert!((k.cdf(0.0) - 0.5).abs() < 1e-9, "{k:?} median not 0");
         }
+    }
+
+    #[test]
+    fn sqrt_2pi_constant_is_exact() {
+        assert_eq!(
+            SQRT_2PI.to_bits(),
+            (2.0 * std::f64::consts::PI).sqrt().to_bits()
+        );
     }
 
     #[test]

@@ -29,6 +29,7 @@
 #![allow(clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
 pub mod ball;
 pub mod bandwidth;
+pub mod batch;
 pub mod grid;
 pub mod hashgrid;
 pub mod kde;

@@ -1,8 +1,9 @@
 //! The estimator interface shared by all density backends.
 
 use std::num::NonZeroUsize;
+use std::ops::Range;
 
-use dbs_core::{BoundingBox, PointSource, Result};
+use dbs_core::{BoundingBox, Dataset, PointSource, Result};
 
 /// A frequency-scaled density estimator over `[0,1]^d` (or any fixed box
 /// domain).
@@ -34,6 +35,27 @@ pub trait DensityEstimator {
     /// above this are "denser than average" in the sense of §2.2.
     fn average_density(&self) -> f64;
 
+    /// Batch hook: writes the densities of `points[range]` into `out`
+    /// (`out[k]` = density of point `range.start + k`).
+    ///
+    /// The contract is **bit-identical** to calling
+    /// [`DensityEstimator::density`] once per point in index order — a
+    /// backend may override this with a faster blocked evaluation only if
+    /// it preserves that equivalence (see `KernelDensityEstimator`, whose
+    /// override is the cache-blocked engine in `dbs_density::batch`). The
+    /// default is the per-point fallback, so grid/hash/wavelet backends are
+    /// batch-routed without any change.
+    ///
+    /// This is the per-chunk primitive under [`batch_densities`]; callers
+    /// wanting a whole-dataset vector should use that (or
+    /// [`DensityEstimator::densities`]) instead.
+    fn densities_into(&self, points: &Dataset, range: Range<usize>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), range.len());
+        for (o, i) in out.iter_mut().zip(range) {
+            *o = self.density(points.point(i));
+        }
+    }
+
     /// Densities of every point of `source`, in point order, evaluated with
     /// up to `threads` worker threads.
     ///
@@ -58,12 +80,22 @@ pub trait DensityEstimator {
 /// Batch density evaluation through the deterministic parallel executor —
 /// the free-function form of [`DensityEstimator::densities`], usable with
 /// unsized estimators (`dyn DensityEstimator + Sync`).
+///
+/// Each fixed 4096-point chunk of the executor is evaluated through the
+/// [`DensityEstimator::densities_into`] hook, so backends with a blocked
+/// engine get it on every chunk; the hook's bit-identity contract makes
+/// the output equal to a per-point sequential scan at every thread count.
 pub fn batch_densities<E, S>(est: &E, source: &S, threads: NonZeroUsize) -> Result<Vec<f64>>
 where
     E: DensityEstimator + Sync + ?Sized,
     S: PointSource + ?Sized,
 {
-    dbs_core::par::par_map(source, threads, |_, x| est.density(x))
+    let nested = dbs_core::par::par_scan(source, threads, |range, ds| {
+        let mut out = vec![0.0f64; range.len()];
+        est.densities_into(ds, range, &mut out);
+        out
+    })?;
+    Ok(nested.into_iter().flatten().collect())
 }
 
 /// Quadrature resolution per dimension used by the default

@@ -125,23 +125,36 @@ where
     // center value for any plausible radius/bandwidth ratio.
     //
     // Each point's keep/drop decision depends only on its own index (the
-    // quadrature is seeded per index), so the pass parallelizes as a
-    // filter-map whose output is in point order for every thread count.
+    // quadrature is seeded per index), so the pass parallelizes chunk-wise
+    // with output in point order for every thread count. The prefilter's
+    // density screen runs through the estimator's batch engine
+    // (`densities_into`, bit-identical to per-point evaluation) on each
+    // chunk.
     let ball_vol = dbs_core::metric::ball_volume(source.dim(), k);
     let skip_above = 1000.0 * threshold;
-    let kept = par::par_filter_map(source, threads, |i, x| {
-        if estimator.density(x) * ball_vol > skip_above {
-            return None;
+    let kept_chunks = par::par_scan(source, threads, |range, ds| {
+        let mut dens = vec![0.0f64; range.len()];
+        estimator.densities_into(ds, range.clone(), &mut dens);
+        let mut kept: Vec<(usize, Vec<f64>)> = Vec::new();
+        for (off, i) in range.enumerate() {
+            if dens[off] * ball_vol > skip_above {
+                continue;
+            }
+            let x = ds.point(i);
+            let expected = expected_neighbors(
+                estimator,
+                x,
+                k,
+                config.ball_samples,
+                config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            if expected <= threshold {
+                kept.push((i, x.to_vec()));
+            }
         }
-        let expected = expected_neighbors(
-            estimator,
-            x,
-            k,
-            config.ball_samples,
-            config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
-        (expected <= threshold).then(|| (i, x.to_vec()))
+        kept
     })?;
+    let kept: Vec<(usize, Vec<f64>)> = kept_chunks.into_iter().flatten().collect();
     let candidates = kept.len();
     let mut candidate_points = Dataset::with_capacity(source.dim(), candidates.max(1));
     let mut candidate_indices: Vec<usize> = Vec::with_capacity(candidates);

@@ -160,12 +160,16 @@ where
     let a = config.exponent;
     let threads = config.parallelism;
     let floor = config.density_floor * estimator.average_density();
-    let fprime = |x: &[f64]| -> f64 { estimator.density(x).max(floor).powf(a) };
 
-    // Pass 1: k = sum of f'(x) over the dataset. The parallel map returns
-    // f'(x) in point order; the serial left fold over it is bit-identical
-    // to accumulating during a sequential scan.
-    let fpv = par::par_map(source, threads, |_, x| fprime(x))?;
+    // Pass 1: k = sum of f'(x) over the dataset. Densities come from the
+    // estimator's batch engine (`batch_densities` routes every chunk
+    // through the `densities_into` hook), which is bit-identical to
+    // per-point evaluation; the serial left fold over the point-ordered
+    // vector is bit-identical to accumulating during a sequential scan.
+    let fpv: Vec<f64> = dbs_density::batch_densities(estimator, source, threads)?
+        .into_iter()
+        .map(|f| f.max(floor).powf(a))
+        .collect();
     let k: f64 = fpv.iter().sum();
     if !(k.is_finite() && k > 0.0) {
         return Err(Error::InvalidParameter(format!(

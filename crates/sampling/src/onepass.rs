@@ -89,18 +89,20 @@ where
         )));
     }
 
-    // The single data pass, chunked across threads. Each chunk yields its
-    // picks (in point order) and its clip count; picks concatenate in chunk
-    // order and the counts sum, so the merged result is the same for every
-    // parallelism level. Inclusion draws are keyed on (seed, index) as in
-    // the two-pass sampler.
+    // The single data pass, chunked across threads. Each chunk evaluates
+    // its densities through the estimator's batch engine (bit-identical to
+    // per-point evaluation), then yields its picks (in point order) and its
+    // clip count; picks concatenate in chunk order and the counts sum, so
+    // the merged result is the same for every parallelism level. Inclusion
+    // draws are keyed on (seed, index) as in the two-pass sampler.
     let b = config.target_size as f64;
     let per_chunk = par::par_scan(source, threads, |range, ds| {
+        let mut dens = vec![0.0f64; range.len()];
+        estimator.densities_into(ds, range.clone(), &mut dens);
         let mut picks: Vec<(usize, Vec<f64>, f64)> = Vec::new();
         let mut clipped = 0usize;
-        for i in range {
-            let x = ds.point(i);
-            let raw = b * estimator.density(x).max(floor).powf(a) / k;
+        for (off, i) in range.enumerate() {
+            let raw = b * dens[off].max(floor).powf(a) / k;
             let p = if raw >= 1.0 {
                 clipped += 1;
                 1.0
@@ -108,7 +110,7 @@ where
                 raw
             };
             if keyed_unit(config.seed, i as u64) < p {
-                picks.push((i, x.to_vec(), 1.0 / p));
+                picks.push((i, ds.point(i).to_vec(), 1.0 / p));
             }
         }
         (picks, clipped)

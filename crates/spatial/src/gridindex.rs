@@ -121,6 +121,12 @@ impl GridIndex {
     /// Visits every point index whose cell intersects the axis-aligned box
     /// `[center - radius, center + radius]` — a superset of the points within
     /// Euclidean distance `radius` of `center`.
+    ///
+    /// Candidates are yielded in **ascending point-index order**. This is
+    /// the canonical accumulation order of the density paths: both the
+    /// scalar `KernelDensityEstimator::density` and the batch engine sum
+    /// center contributions in ascending center index, which is what makes
+    /// their outputs bit-identical (see `dbs-density`'s `batch` module).
     pub fn for_each_candidate_within(
         &self,
         center: &[f64],
@@ -144,21 +150,34 @@ impl GridIndex {
             lo[j] = to_cell(center[j] - radius);
             hi[j] = to_cell(center[j] + radius);
         }
-        // Iterate the d-dimensional cell range with an odometer.
-        let mut coords = lo.clone();
-        loop {
+        // Single-cell fast path: the bucket is already ascending (cells are
+        // filled by one in-order scan of the data in `build`).
+        if lo == hi {
             let mut cell = 0usize;
             for j in 0..d {
-                cell = cell * self.cells_per_dim + coords[j];
+                cell = cell * self.cells_per_dim + lo[j];
             }
             for &i in &self.buckets[cell] {
                 visit(i);
             }
+            return;
+        }
+        // Iterate the d-dimensional cell range with an odometer, collecting
+        // candidates; cells are disjoint, so one sort restores the global
+        // ascending-index order.
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut coords = lo.clone();
+        'odometer: loop {
+            let mut cell = 0usize;
+            for j in 0..d {
+                cell = cell * self.cells_per_dim + coords[j];
+            }
+            candidates.extend_from_slice(&self.buckets[cell]);
             // Advance odometer.
             let mut j = d;
             loop {
                 if j == 0 {
-                    return;
+                    break 'odometer;
                 }
                 j -= 1;
                 if coords[j] < hi[j] {
@@ -170,6 +189,10 @@ impl GridIndex {
                     break;
                 }
             }
+        }
+        candidates.sort_unstable();
+        for i in candidates {
+            visit(i);
         }
     }
 
@@ -265,6 +288,27 @@ mod tests {
                     candidates.contains(&i),
                     "in-ball point {i} missing from candidates"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_yielded_in_ascending_index_order() {
+        let data = random_dataset(400, 3, 11);
+        let grid = GridIndex::build(&data, BoundingBox::unit(3), 5);
+        let mut rng = seeded(12);
+        for _ in 0..25 {
+            let q: Vec<f64> = (0..3).map(|_| rng.gen::<f64>()).collect();
+            // Radii from sub-cell (single-cell fast path) to half the domain
+            // (multi-cell merge path).
+            for r in [0.05, 0.2, 0.5] {
+                let mut last: Option<u32> = None;
+                grid.for_each_candidate_within(&q, r, |i| {
+                    if let Some(prev) = last {
+                        assert!(prev < i, "candidates out of order: {prev} then {i}");
+                    }
+                    last = Some(i);
+                });
             }
         }
     }

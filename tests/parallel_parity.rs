@@ -60,8 +60,9 @@ fn assert_samples_identical(a: &WeightedSample, b: &WeightedSample, what: &str) 
 fn kde_batch_densities_are_thread_count_independent() {
     let (data, est) = workload();
     let serial = est.densities(&data, nz(1)).unwrap();
-    // The batch path must also agree with per-point evaluation.
-    for (i, &d) in serial.iter().take(100).enumerate() {
+    // The cache-blocked batch engine must agree with per-point scalar
+    // evaluation on every point, bit for bit.
+    for (i, &d) in serial.iter().enumerate() {
         assert_eq!(
             d.to_bits(),
             est.density(data.point(i)).to_bits(),
@@ -72,6 +73,73 @@ fn kde_batch_densities_are_thread_count_independent() {
         let par = est.densities(&data, nz(t)).unwrap();
         assert_eq!(bits(&serial), bits(&par), "threads={t}");
     }
+}
+
+/// The sampler and outlier paths now evaluate densities through the batch
+/// engine; their observable statistics must still equal what a per-point
+/// scalar evaluation produces.
+#[test]
+fn batch_routed_pipelines_match_scalar_reference() {
+    let (data, est) = workload();
+
+    // Two-pass sampler: the normalizer k is the serial fold over f'(x);
+    // recompute it from scalar density() calls and compare bits.
+    let cfg = BiasedConfig::new(1500, 0.75).with_seed(5);
+    let floor = cfg.density_floor * est.average_density();
+    let reference_k: f64 = data
+        .iter()
+        .map(|x| est.density(x).max(floor).powf(cfg.exponent))
+        .sum();
+    let (_, stats) = density_biased_sample(&data, &est, &cfg).unwrap();
+    assert_eq!(stats.normalizer_k.to_bits(), reference_k.to_bits());
+
+    // One-pass sampler: the per-point inclusion decisions are a pure
+    // function of the batch densities; replay them from scalar calls.
+    let one_cfg = BiasedConfig::new(1500, 1.0).with_seed(23);
+    let (one, one_stats) = one_pass_biased_sample(&data, &est, &one_cfg).unwrap();
+    let k = one_stats.normalizer_k;
+    let b = one_cfg.target_size as f64;
+    let mut replayed = Vec::new();
+    for (i, x) in data.iter().enumerate() {
+        let p = (b * est.density(x).max(floor).powf(one_cfg.exponent) / k).min(1.0);
+        if dbs_core::rng::keyed_unit(one_cfg.seed, i as u64) < p {
+            replayed.push(i);
+        }
+    }
+    assert_eq!(one.source_indices(), replayed.as_slice());
+
+    // Outlier pruner: the density prefilter screens with batch densities;
+    // the report must match a run whose estimator has no batch shortcut
+    // (per-point fallback via the default trait hook).
+    struct ScalarOnly<'a>(&'a KernelDensityEstimator);
+    impl DensityEstimator for ScalarOnly<'_> {
+        fn dim(&self) -> usize {
+            self.0.dim()
+        }
+        fn dataset_size(&self) -> f64 {
+            self.0.dataset_size()
+        }
+        fn density(&self, x: &[f64]) -> f64 {
+            self.0.density(x)
+        }
+        fn integrate_box(&self, bbox: &dbs_core::BoundingBox) -> f64 {
+            self.0.integrate_box(bbox)
+        }
+        fn average_density(&self) -> f64 {
+            self.0.average_density()
+        }
+        // densities_into deliberately left at the per-point default.
+    }
+    let params = DbOutlierParams::new(0.02, 3).unwrap();
+    let ocfg = ApproxConfig {
+        slack: 5.0,
+        seed: 3,
+        ..ApproxConfig::new(params)
+    };
+    let batched = approx_outliers(&data, &est, &ocfg).unwrap();
+    let scalar = approx_outliers(&data, &ScalarOnly(&est), &ocfg).unwrap();
+    assert_eq!(batched.outliers, scalar.outliers);
+    assert_eq!(batched.candidates, scalar.candidates);
 }
 
 #[test]
