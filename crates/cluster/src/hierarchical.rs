@@ -19,17 +19,48 @@
 //!   `trim_min_size` members) are set aside as noise rather than allowed
 //!   to chain real clusters together.
 //!
-//! The run time is quadratic in the sample size — which is exactly why the
-//! paper samples first (§3.1, Figure 2).
+//! # Merge-loop acceleration
+//!
+//! The naive agglomeration is quadratic in the sample size with two linear
+//! scans per merge: one to find the globally closest pair, one to refresh
+//! every cluster's closest pointer against the merged cluster (plus full
+//! `O(live · c²)` rescans whenever a pointer goes stale). That cost is
+//! exactly the paper's Figure 2 bottleneck. [`hierarchical_cluster`] now
+//! runs an accelerated core instead:
+//!
+//! * closest-pair selection pops a **lazy-deletion binary min-heap** of
+//!   `(closest_dist, cluster_id)` entries, validated on pop against a
+//!   per-cluster generation counter;
+//! * stale-pointer recomputation queries a [`dbs_spatial::RepIndex`] — a
+//!   dynamic grid over all active clusters' representative points, updated
+//!   incrementally on merge and trim — instead of scanning every cluster;
+//! * the post-merge broadcast ("did the merged cluster become anyone's new
+//!   closest?") prunes with an exact representative-bounding-box distance
+//!   bound before computing any rep-to-rep distance.
+//!
+//! The accelerated core is **bit-identical** to the retained reference loop
+//! ([`hierarchical_cluster_reference`]): same merge sequence, same trims,
+//! same output, at every thread count. Ties on merge distance break toward
+//! the lowest cluster id. `tests/hierarchical_parity.rs` property-tests the
+//! equality; `crates/bench/benches/cure_scaling.rs` measures the gap.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::num::NonZeroUsize;
 
 use dbs_core::metric::euclidean_sq;
-use dbs_core::{par, Dataset, Error, Result};
-use dbs_spatial::KdTree;
+use dbs_core::{par, stats, Dataset, Error, Result};
+use dbs_spatial::{KdTree, RepIndex};
 
 /// Cluster id assigned to points trimmed as noise.
 pub const NOISE: usize = usize::MAX;
+
+/// Relative slack on the bounding-box pruning bound of the post-merge
+/// broadcast: a box pair is only skipped when its distance bound exceeds the
+/// candidate's current closest distance by this factor, so floating-point
+/// rounding in the bound can never skip a pair the exact computation would
+/// have accepted.
+const BBOX_PRUNE_SLACK: f64 = 1.0 + 1e-9;
 
 /// Configuration of the hierarchical algorithm (§4.2 defaults).
 #[derive(Debug, Clone)]
@@ -187,31 +218,8 @@ fn scattered_representatives(
         .collect()
 }
 
-/// Runs the CURE-style hierarchical algorithm on `data` (typically a
-/// sample).
-///
-/// Errors if the dataset is empty or the target cluster count is zero.
-///
-/// # Examples
-///
-/// ```
-/// use dbs_cluster::{hierarchical_cluster, HierarchicalConfig};
-/// use dbs_core::Dataset;
-///
-/// // Two blobs of 30 points each.
-/// let mut rows = vec![];
-/// for i in 0..30 {
-///     rows.push(vec![0.2 + (i % 6) as f64 * 0.01, 0.2 + (i / 6) as f64 * 0.01]);
-///     rows.push(vec![0.8 + (i % 6) as f64 * 0.01, 0.8 + (i / 6) as f64 * 0.01]);
-/// }
-/// let data = Dataset::from_rows(&rows)?;
-/// let result = hierarchical_cluster(&data, &HierarchicalConfig::paper_defaults(2))?;
-///
-/// assert_eq!(result.clusters.len(), 2);
-/// assert!(result.clusters.iter().all(|c| c.members.len() == 30));
-/// # Ok::<(), dbs_core::Error>(())
-/// ```
-pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Result<Clustering> {
+/// Rejects degenerate inputs (shared by both cores).
+fn validate(data: &Dataset, config: &HierarchicalConfig) -> Result<()> {
     if data.is_empty() {
         return Err(Error::InvalidParameter(
             "cannot cluster an empty dataset".into(),
@@ -230,19 +238,23 @@ pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Resu
             "num_representatives must be >= 1".into(),
         ));
     }
-    let n = data.len();
-    let dim = data.dim();
-    let k = config.num_clusters;
+    Ok(())
+}
 
-    // Singleton initialization; nearest neighbors via kd-tree. Both the
-    // tree construction and the n nearest-neighbor queries parallelize
-    // without affecting the result: the parallel build is node-for-node
-    // identical to the serial one, and each query depends only on (tree,
-    // point i).
+/// Singleton initialization with kd-tree nearest neighbors (shared by both
+/// cores). Both the tree construction and the n nearest-neighbor queries
+/// parallelize without affecting the result: the parallel build is
+/// node-for-node identical to the serial one, and each query depends only
+/// on (tree, point i). Distances stay **squared** end to end —
+/// [`KdTree::nearest_excluding_sq`] returns exactly the `euclidean_sq`
+/// value the search computed, bit-equal to every later [`cluster_dist`]
+/// comparison (the rounded sqrt-then-square round trip is not).
+fn init_singletons(data: &Dataset, config: &HierarchicalConfig) -> Vec<Agglo> {
+    let n = data.len();
     let threads = config.parallelism;
     let tree = KdTree::build_par(data, threads);
     let nearest = par::par_indices(n, threads, |i| {
-        tree.nearest_excluding(data, data.point(i), i)
+        tree.nearest_excluding_sq(data, data.point(i), i)
     });
     let mut clusters: Vec<Agglo> = (0..n)
         .map(|i| {
@@ -259,35 +271,402 @@ pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Resu
         })
         .collect();
     for (i, found) in nearest.into_iter().enumerate() {
-        if let Some((j, d)) = found {
+        if let Some((j, d_sq)) = found {
             clusters[i].closest = j;
-            clusters[i].closest_dist = d * d;
+            clusters[i].closest_dist = d_sq;
         }
     }
+    clusters
+}
 
-    let mut live = n;
-    let mut noise: Vec<u32> = Vec::new();
-    // Distance threshold (squared) for the noise trims: a multiple of a
-    // quantile of the initial NN distances. The trim re-fires every time
-    // the pending merge distance doubles past the previous trigger, so
-    // noise agglomerates that form *between* trims are still removed while
-    // they are small — CURE's "two trim phases", generalized.
-    let mut trim_round: u32 = 0;
-    let mut next_trim_sq = if config.trim_min_size > 0 && n > k {
-        let mut nn: Vec<f64> = clusters.iter().map(|c| c.closest_dist).collect();
-        nn.sort_by(|a, b| a.partial_cmp(b).expect("distances are never NaN"));
-        let q = config.trim_nn_quantile.clamp(0.0, 1.0);
-        let idx = ((nn.len() - 1) as f64 * q) as usize;
-        // Distances concentrate with dimension: a density ratio rho between
-        // cluster interiors and noise shows up as a distance ratio of only
-        // rho^(1/d). The configured factor is interpreted at d = 2 and
-        // rescaled so the trigger separates the same density contrast in
-        // any dimension.
-        let factor = config.trim_distance_factor.max(1.0).powf(2.0 / dim as f64);
-        Some(nn[idx].max(f64::MIN_POSITIVE) * factor * factor)
-    } else {
-        None
+/// Squared distance threshold for the first noise trim, `None` when
+/// trimming is disabled or cannot apply: a multiple of a quantile of the
+/// initial NN distances (the shared [`dbs_core::stats::quantile`],
+/// linear-interpolated). The trim re-fires every time the pending merge
+/// distance doubles past the previous trigger, so noise agglomerates that
+/// form *between* trims are still removed while they are small — CURE's
+/// "two trim phases", generalized.
+fn initial_trim_threshold_sq(
+    clusters: &[Agglo],
+    config: &HierarchicalConfig,
+    n: usize,
+    dim: usize,
+) -> Option<f64> {
+    if config.trim_min_size == 0 || n <= config.num_clusters {
+        return None;
+    }
+    let nn: Vec<f64> = clusters.iter().map(|c| c.closest_dist).collect();
+    let q = config.trim_nn_quantile.clamp(0.0, 1.0);
+    let base = stats::quantile(&nn, q);
+    // Distances concentrate with dimension: a density ratio rho between
+    // cluster interiors and noise shows up as a distance ratio of only
+    // rho^(1/d). The configured factor is interpreted at d = 2 and
+    // rescaled so the trigger separates the same density contrast in
+    // any dimension.
+    let factor = config.trim_distance_factor.max(1.0).powf(2.0 / dim as f64);
+    Some(base.max(f64::MIN_POSITIVE) * factor * factor)
+}
+
+/// The escalating survival bar for trim round `trim_round`: the first trim
+/// is gentle (sparse real clusters are still fragments at dense-cluster
+/// distance scales), later trims are strict (by then real clusters have
+/// consolidated while anything still small is noise agglomerate).
+fn trim_min_size(config: &HierarchicalConfig, n: usize, trim_round: u32) -> usize {
+    let cap = config
+        .trim_min_size
+        .max(n / config.trim_size_divisor.max(1));
+    config
+        .trim_min_size
+        .saturating_mul(3usize.saturating_pow(trim_round))
+        .min(cap.max(config.trim_min_size))
+}
+
+/// One trim pass (shared by both cores): deactivates every active cluster
+/// smaller than `min_size`, in ascending id order, stopping once `live`
+/// reaches `k`. Returns the ids trimmed (empty when nothing qualified).
+fn trim_pass(
+    clusters: &mut [Agglo],
+    live: &mut usize,
+    noise: &mut Vec<u32>,
+    min_size: usize,
+    k: usize,
+) -> Vec<usize> {
+    let mut trimmed = Vec::new();
+    for (id, c) in clusters.iter_mut().enumerate() {
+        if c.active && c.members.len() < min_size && *live > k {
+            c.active = false;
+            *live -= 1;
+            noise.extend_from_slice(&c.members);
+            trimmed.push(id);
+        }
+    }
+    trimmed
+}
+
+/// Merges cluster `v` into cluster `u` (shared by both cores): members,
+/// exact coordinate sums, mean, and freshly selected shrunk
+/// representatives.
+fn apply_merge(
+    data: &Dataset,
+    clusters: &mut [Agglo],
+    u: usize,
+    v: usize,
+    config: &HierarchicalConfig,
+) {
+    let dim = data.dim();
+    let (members_v, sum_v) = {
+        let cv = &mut clusters[v];
+        cv.active = false;
+        (
+            std::mem::take(&mut cv.members),
+            std::mem::take(&mut cv.coord_sum),
+        )
     };
+    {
+        let cu = &mut clusters[u];
+        cu.members.extend_from_slice(&members_v);
+        for j in 0..dim {
+            cu.coord_sum[j] += sum_v[j];
+        }
+        let inv = 1.0 / cu.members.len() as f64;
+        for j in 0..dim {
+            cu.mean[j] = cu.coord_sum[j] * inv;
+        }
+    }
+    clusters[u].reps = scattered_representatives(
+        data,
+        &clusters[u].members,
+        &clusters[u].mean,
+        config.num_representatives,
+        config.shrink_factor,
+    );
+}
+
+/// Packs the surviving clusters into the output form (shared).
+fn assemble(clusters: Vec<Agglo>, n: usize, live: usize) -> Clustering {
+    let mut assignments = vec![NOISE; n];
+    let mut out_clusters = Vec::with_capacity(live);
+    for c in clusters.into_iter().filter(|c| c.active) {
+        let id = out_clusters.len();
+        let members: Vec<usize> = c.members.iter().map(|&m| m as usize).collect();
+        for &m in &members {
+            assignments[m] = id;
+        }
+        out_clusters.push(FoundCluster {
+            members,
+            mean: c.mean,
+            representatives: c.reps,
+        });
+    }
+    Clustering {
+        assignments,
+        clusters: out_clusters,
+    }
+}
+
+/// Axis-aligned bounding box of a representative set, as `(lo, hi)`.
+fn reps_bbox(reps: &[Vec<f64>], dim: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for r in reps {
+        for j in 0..dim {
+            lo[j] = lo[j].min(r[j]);
+            hi[j] = hi[j].max(r[j]);
+        }
+    }
+    (lo, hi)
+}
+
+/// Squared distance between two axis-aligned boxes (0 when they overlap) —
+/// a lower bound on [`cluster_dist`] between the rep sets they bound.
+fn bbox_gap_sq(a: &(Vec<f64>, Vec<f64>), b: &(Vec<f64>, Vec<f64>)) -> f64 {
+    let mut acc = 0.0;
+    for j in 0..a.0.len() {
+        let g = (a.0[j] - b.1[j]).max(b.0[j] - a.1[j]).max(0.0);
+        acc += g * g;
+    }
+    acc
+}
+
+/// A lazy-deletion heap entry: ordered by `(dist, id)` ascending (wrapped in
+/// [`Reverse`] for the max-heap), so distance ties pop the lowest cluster id
+/// first — the same tie-break an ascending-id linear scan with a strict `<`
+/// implements. `gen` is not part of the order; it invalidates stale entries
+/// on pop.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    id: u32,
+    gen: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .expect("distances are never NaN")
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+/// The closest other cluster of `id`, via the rep index: the lexicographic
+/// `(distance, owner)` minimum over `id`'s reps — exactly what the
+/// reference's ascending-id scan over [`cluster_dist`] values computes.
+fn recompute_via_index(index: &RepIndex, id: usize, reps: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (usize::MAX, f64::INFINITY);
+    for p in reps {
+        if let Some((owner, d)) = index.nearest_owner_sq(p, id as u32) {
+            let owner = owner as usize;
+            if d < best.1 || (d == best.1 && owner < best.0) {
+                best = (owner, d);
+            }
+        }
+    }
+    best
+}
+
+/// The accelerated merge loop: heap-driven closest-pair selection, rep-index
+/// recomputation, bbox-pruned broadcast. Mutates `clusters` in place and
+/// returns the live cluster count.
+fn run_merge_loop(
+    data: &Dataset,
+    config: &HierarchicalConfig,
+    clusters: &mut [Agglo],
+    noise: &mut Vec<u32>,
+) -> usize {
+    let n = clusters.len();
+    let dim = data.dim();
+    let k = config.num_clusters;
+    let mut live = n;
+    if live <= k {
+        return live;
+    }
+
+    let mut next_trim_sq = initial_trim_threshold_sq(clusters, config, n, dim);
+    let mut trim_round: u32 = 0;
+
+    // Rep index over every active cluster's representative points. The
+    // domain is the data's bounding box: reps are members shrunk toward a
+    // member mean, so they never leave it.
+    let domain = data.bounding_box().expect("non-empty dataset");
+    let mut index = RepIndex::new(domain, n);
+    for (id, c) in clusters.iter().enumerate() {
+        index.insert_all(id as u32, &c.reps);
+    }
+
+    // Per-cluster rep bounding boxes for the broadcast prune.
+    let mut bboxes: Vec<(Vec<f64>, Vec<f64>)> =
+        clusters.iter().map(|c| reps_bbox(&c.reps, dim)).collect();
+
+    // Active-id list for O(live) broadcast iteration (order-insensitive).
+    let mut active_ids: Vec<u32> = (0..n as u32).collect();
+    let mut active_pos: Vec<u32> = (0..n as u32).collect();
+    let deactivate = |active_ids: &mut Vec<u32>, active_pos: &mut [u32], id: usize| {
+        let p = active_pos[id] as usize;
+        active_ids.swap_remove(p);
+        if p < active_ids.len() {
+            active_pos[active_ids[p] as usize] = p as u32;
+        }
+    };
+
+    // Lazy-deletion heap: one entry per (cluster, generation); an entry is
+    // live iff its cluster is active and its generation is current. Every
+    // closest-pointer change bumps the generation and pushes a fresh entry,
+    // so the heap always holds each active cluster's current state.
+    let mut gens: Vec<u32> = vec![0; n];
+    let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::with_capacity(n + n / 2);
+    for (id, c) in clusters.iter().enumerate() {
+        if c.closest_dist.is_finite() {
+            heap.push(Reverse(HeapEntry {
+                dist: c.closest_dist,
+                id: id as u32,
+                gen: 0,
+            }));
+        }
+    }
+    let push_current =
+        |heap: &mut BinaryHeap<Reverse<HeapEntry>>, gens: &[u32], clusters: &[Agglo], id: usize| {
+            if clusters[id].closest_dist.is_finite() {
+                heap.push(Reverse(HeapEntry {
+                    dist: clusters[id].closest_dist,
+                    id: id as u32,
+                    gen: gens[id],
+                }));
+            }
+        };
+
+    while live > k {
+        // Pop the globally closest pair (lowest id on distance ties),
+        // discarding stale entries.
+        let (best, u) = loop {
+            let Some(Reverse(entry)) = heap.pop() else {
+                // Nothing mergeable (all remaining are mutually isolated).
+                return live;
+            };
+            let id = entry.id as usize;
+            if clusters[id].active && entry.gen == gens[id] {
+                debug_assert_eq!(entry.dist, clusters[id].closest_dist);
+                break (entry.dist, id);
+            }
+        };
+
+        // Noise trim (CURE's outlier handling, distance-triggered): each
+        // time the pending merge moves further out of the intra-cluster
+        // distance regime, drop the clusters that grew too slowly.
+        if next_trim_sq.is_some_and(|t| best > t) {
+            // Re-arm at double the distance (4x on squared distances).
+            next_trim_sq = Some(next_trim_sq.expect("checked above").max(best) * 4.0);
+            let min_size = trim_min_size(config, n, trim_round);
+            trim_round += 1;
+            let u_gen = gens[u];
+            let trimmed = trim_pass(clusters, &mut live, noise, min_size, k);
+            for &id in &trimmed {
+                index.remove_all(id as u32, &clusters[id].reps);
+                deactivate(&mut active_ids, &mut active_pos, id);
+            }
+            if live <= k {
+                break;
+            }
+            if !trimmed.is_empty() {
+                index.maybe_coarsen();
+                // Refresh stale closest pointers into trimmed clusters.
+                for p in 0..active_ids.len() {
+                    let id = active_ids[p] as usize;
+                    if clusters[id].closest != usize::MAX && !clusters[clusters[id].closest].active
+                    {
+                        let (j, d) = recompute_via_index(&index, id, &clusters[id].reps);
+                        clusters[id].closest = j;
+                        clusters[id].closest_dist = d;
+                        gens[id] += 1;
+                        push_current(&mut heap, &gens, clusters, id);
+                    }
+                }
+                // The popped entry for `u` left the heap; restore it unless
+                // the refresh already replaced it (or `u` was trimmed).
+                if clusters[u].active && gens[u] == u_gen {
+                    push_current(&mut heap, &gens, clusters, u);
+                }
+                continue; // re-select the closest pair among survivors
+            }
+        }
+        let v = clusters[u].closest;
+        debug_assert!(clusters[v].active, "closest pointers are kept fresh");
+
+        // Merge v into u.
+        index.remove_all(u as u32, &clusters[u].reps);
+        index.remove_all(v as u32, &clusters[v].reps);
+        deactivate(&mut active_ids, &mut active_pos, v);
+        apply_merge(data, clusters, u, v, config);
+        live -= 1;
+        index.insert_all(u as u32, &clusters[u].reps);
+        bboxes[u] = reps_bbox(&clusters[u].reps, dim);
+        index.maybe_coarsen();
+
+        // Refresh closest pointers: u itself, plus anyone pointing at u/v,
+        // plus anyone the reshaped u is now closer to than their cached
+        // closest (bbox-pruned exact check).
+        let (j, d) = recompute_via_index(&index, u, &clusters[u].reps);
+        clusters[u].closest = j;
+        clusters[u].closest_dist = d;
+        gens[u] += 1;
+        push_current(&mut heap, &gens, clusters, u);
+        for p in 0..active_ids.len() {
+            let id = active_ids[p] as usize;
+            if id == u {
+                continue;
+            }
+            if clusters[id].closest == u || clusters[id].closest == v {
+                let (j, d) = recompute_via_index(&index, id, &clusters[id].reps);
+                clusters[id].closest = j;
+                clusters[id].closest_dist = d;
+                gens[id] += 1;
+                push_current(&mut heap, &gens, clusters, id);
+            } else {
+                // u changed shape; it may now be closer than the cached one.
+                let lb = bbox_gap_sq(&bboxes[id], &bboxes[u]);
+                if lb <= clusters[id].closest_dist * BBOX_PRUNE_SLACK {
+                    let d = cluster_dist(&clusters[id], &clusters[u]);
+                    if d < clusters[id].closest_dist {
+                        clusters[id].closest = u;
+                        clusters[id].closest_dist = d;
+                        gens[id] += 1;
+                        push_current(&mut heap, &gens, clusters, id);
+                    }
+                }
+            }
+        }
+    }
+    live
+}
+
+/// The retained reference merge loop: linear closest-pair scan and full
+/// `recompute_closest` rescans, exactly as the pre-acceleration
+/// implementation ran them. Kept for the bit-equality property tests and
+/// the `cure_scaling` benchmark.
+fn run_merge_loop_reference(
+    data: &Dataset,
+    config: &HierarchicalConfig,
+    clusters: &mut [Agglo],
+    noise: &mut Vec<u32>,
+) -> usize {
+    let n = clusters.len();
+    let dim = data.dim();
+    let k = config.num_clusters;
+    let mut live = n;
+    if live <= k {
+        return live;
+    }
+
+    let mut next_trim_sq = initial_trim_threshold_sq(clusters, config, n, dim);
+    let mut trim_round: u32 = 0;
 
     let recompute_closest = |clusters: &[Agglo], id: usize| -> (usize, f64) {
         let mut best = (usize::MAX, f64::INFINITY);
@@ -317,45 +696,22 @@ pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Resu
             break; // nothing mergeable (all remaining are mutually isolated)
         }
 
-        // Noise trim (CURE's outlier handling, distance-triggered): each
-        // time the pending merge moves further out of the intra-cluster
-        // distance regime, drop the clusters that grew too slowly.
         if next_trim_sq.is_some_and(|t| best > t) {
-            // Re-arm at double the distance (4x on squared distances).
             next_trim_sq = Some(next_trim_sq.expect("checked above").max(best) * 4.0);
-            // The survival bar escalates across rounds: the first trim is
-            // gentle (sparse real clusters are still fragments at dense-
-            // cluster distance scales), later trims are strict (by then
-            // real clusters have consolidated while anything still small is
-            // noise agglomerate).
-            let cap = config
-                .trim_min_size
-                .max(n / config.trim_size_divisor.max(1));
-            let min_size = config
-                .trim_min_size
-                .saturating_mul(3usize.saturating_pow(trim_round))
-                .min(cap.max(config.trim_min_size));
+            let min_size = trim_min_size(config, n, trim_round);
             trim_round += 1;
-            let mut any = false;
-            for c in clusters.iter_mut() {
-                if c.active && c.members.len() < min_size && live > k {
-                    c.active = false;
-                    live -= 1;
-                    noise.extend_from_slice(&c.members);
-                    any = true;
-                }
-            }
+            let trimmed = trim_pass(clusters, &mut live, noise, min_size, k);
             if live <= k {
                 break;
             }
-            if any {
+            if !trimmed.is_empty() {
                 // Refresh stale closest pointers into trimmed clusters.
                 for id in 0..clusters.len() {
                     if clusters[id].active
                         && clusters[id].closest != usize::MAX
                         && !clusters[clusters[id].closest].active
                     {
-                        let (j, d) = recompute_closest(&clusters, id);
+                        let (j, d) = recompute_closest(clusters, id);
                         clusters[id].closest = j;
                         clusters[id].closest_dist = d;
                     }
@@ -367,36 +723,11 @@ pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Resu
         debug_assert!(clusters[v].active, "closest pointers are kept fresh");
 
         // Merge v into u.
-        let (members_v, sum_v) = {
-            let cv = &mut clusters[v];
-            cv.active = false;
-            (
-                std::mem::take(&mut cv.members),
-                std::mem::take(&mut cv.coord_sum),
-            )
-        };
+        apply_merge(data, clusters, u, v, config);
         live -= 1;
-        {
-            let cu = &mut clusters[u];
-            cu.members.extend_from_slice(&members_v);
-            for j in 0..dim {
-                cu.coord_sum[j] += sum_v[j];
-            }
-            let inv = 1.0 / cu.members.len() as f64;
-            for j in 0..dim {
-                cu.mean[j] = cu.coord_sum[j] * inv;
-            }
-        }
-        clusters[u].reps = scattered_representatives(
-            data,
-            &clusters[u].members,
-            &clusters[u].mean,
-            config.num_representatives,
-            config.shrink_factor,
-        );
 
         // Refresh closest pointers: u itself, plus anyone pointing at u/v.
-        let (j, d) = recompute_closest(&clusters, u);
+        let (j, d) = recompute_closest(clusters, u);
         clusters[u].closest = j;
         clusters[u].closest_dist = d;
         for id in 0..clusters.len() {
@@ -404,7 +735,7 @@ pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Resu
                 continue;
             }
             if clusters[id].closest == u || clusters[id].closest == v {
-                let (j, d) = recompute_closest(&clusters, id);
+                let (j, d) = recompute_closest(clusters, id);
                 clusters[id].closest = j;
                 clusters[id].closest_dist = d;
             } else {
@@ -417,26 +748,58 @@ pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Resu
             }
         }
     }
+    live
+}
 
-    // Assemble output.
-    let mut assignments = vec![NOISE; n];
-    let mut out_clusters = Vec::with_capacity(live);
-    for c in clusters.into_iter().filter(|c| c.active) {
-        let id = out_clusters.len();
-        let members: Vec<usize> = c.members.iter().map(|&m| m as usize).collect();
-        for &m in &members {
-            assignments[m] = id;
-        }
-        out_clusters.push(FoundCluster {
-            members,
-            mean: c.mean,
-            representatives: c.reps,
-        });
-    }
-    Ok(Clustering {
-        assignments,
-        clusters: out_clusters,
-    })
+/// Runs the CURE-style hierarchical algorithm on `data` (typically a
+/// sample).
+///
+/// Errors if the dataset is empty or the target cluster count is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dbs_cluster::{hierarchical_cluster, HierarchicalConfig};
+/// use dbs_core::Dataset;
+///
+/// // Two blobs of 30 points each.
+/// let mut rows = vec![];
+/// for i in 0..30 {
+///     rows.push(vec![0.2 + (i % 6) as f64 * 0.01, 0.2 + (i / 6) as f64 * 0.01]);
+///     rows.push(vec![0.8 + (i % 6) as f64 * 0.01, 0.8 + (i / 6) as f64 * 0.01]);
+/// }
+/// let data = Dataset::from_rows(&rows)?;
+/// let result = hierarchical_cluster(&data, &HierarchicalConfig::paper_defaults(2))?;
+///
+/// assert_eq!(result.clusters.len(), 2);
+/// assert!(result.clusters.iter().all(|c| c.members.len() == 30));
+/// # Ok::<(), dbs_core::Error>(())
+/// ```
+pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Result<Clustering> {
+    validate(data, config)?;
+    let mut clusters = init_singletons(data, config);
+    let mut noise: Vec<u32> = Vec::new();
+    let live = run_merge_loop(data, config, &mut clusters, &mut noise);
+    Ok(assemble(clusters, data.len(), live))
+}
+
+/// [`hierarchical_cluster`] through the retained pre-acceleration merge
+/// loop: per-merge linear scans and full `recompute_closest` rescans.
+///
+/// This path exists as the executable specification of the merge sequence:
+/// the accelerated core must produce bit-identical [`Clustering`] output
+/// (`tests/hierarchical_parity.rs` property-tests it) and the
+/// `cure_scaling` bench measures the speedup against it. It is quadratic
+/// with a large constant — do not use it for real workloads.
+pub fn hierarchical_cluster_reference(
+    data: &Dataset,
+    config: &HierarchicalConfig,
+) -> Result<Clustering> {
+    validate(data, config)?;
+    let mut clusters = init_singletons(data, config);
+    let mut noise: Vec<u32> = Vec::new();
+    let live = run_merge_loop_reference(data, config, &mut clusters, &mut noise);
+    Ok(assemble(clusters, data.len(), live))
 }
 
 #[cfg(test)]
@@ -462,6 +825,19 @@ mod tests {
             }
         }
         (ds, labels)
+    }
+
+    /// Asserts the two cores agree bit for bit on every output field.
+    fn assert_cores_agree(ds: &Dataset, cfg: &HierarchicalConfig) {
+        let fast = hierarchical_cluster(ds, cfg).unwrap();
+        let reference = hierarchical_cluster_reference(ds, cfg).unwrap();
+        assert_eq!(fast.assignments, reference.assignments);
+        assert_eq!(fast.clusters.len(), reference.clusters.len());
+        for (a, b) in fast.clusters.iter().zip(reference.clusters.iter()) {
+            assert_eq!(a.members, b.members);
+            assert_eq!(a.mean, b.mean);
+            assert_eq!(a.representatives, b.representatives);
+        }
     }
 
     #[test]
@@ -596,6 +972,7 @@ mod tests {
         bad = HierarchicalConfig::paper_defaults(2);
         bad.num_representatives = 0;
         assert!(hierarchical_cluster(&ds, &bad).is_err());
+        assert!(hierarchical_cluster_reference(&Dataset::new(2), &bad).is_err());
     }
 
     #[test]
@@ -639,5 +1016,72 @@ mod tests {
         for c in &res.clusters {
             assert_eq!(c.members.len(), 50);
         }
+    }
+
+    #[test]
+    fn cores_agree_on_n_at_most_k() {
+        // n == k and n < k: the merge loop never runs; both cores must
+        // return every point as its own singleton cluster.
+        let (ds, _) = blobs(1, 5, 12);
+        for k in [5usize, 9] {
+            let mut cfg = HierarchicalConfig::paper_defaults(k);
+            cfg.trim_min_size = 0;
+            assert_cores_agree(&ds, &cfg);
+            let res = hierarchical_cluster(&ds, &cfg).unwrap();
+            assert_eq!(res.clusters.len(), 5);
+        }
+    }
+
+    #[test]
+    fn cores_agree_on_all_duplicate_points() {
+        // Every pairwise distance is exactly 0.0: the merge sequence is
+        // pure tie-breaking, which both cores must resolve identically.
+        let rows = vec![vec![0.4, 0.6]; 60];
+        let ds = Dataset::from_rows(&rows).unwrap();
+        for trim in [0usize, 3] {
+            let mut cfg = HierarchicalConfig::paper_defaults(3);
+            cfg.trim_min_size = trim;
+            assert_cores_agree(&ds, &cfg);
+        }
+    }
+
+    #[test]
+    fn cores_agree_with_trim_disabled() {
+        let (mut ds, _) = blobs(3, 40, 13);
+        let mut rng = seeded(14);
+        for _ in 0..10 {
+            ds.push(&[rng.gen::<f64>(), rng.gen::<f64>()]).unwrap();
+        }
+        let mut cfg = HierarchicalConfig::paper_defaults(3);
+        cfg.trim_min_size = 0; // trim disabled: pure merge behavior
+        assert_cores_agree(&ds, &cfg);
+    }
+
+    #[test]
+    fn trim_can_drive_live_down_to_exactly_k() {
+        // Two tight blobs plus isolated stragglers: when the first trim
+        // fires, dropping the stragglers lands live exactly on k, ending
+        // the run mid-loop. Both cores must take the same early exit.
+        let (mut ds, _) = blobs(2, 30, 15);
+        ds.push(&[0.05, 0.95]).unwrap();
+        ds.push(&[0.95, 0.05]).unwrap();
+        let mut cfg = HierarchicalConfig::paper_defaults(2);
+        cfg.trim_min_size = 3;
+        cfg.trim_size_divisor = usize::MAX; // keep the bar at trim_min_size
+        let res = hierarchical_cluster(&ds, &cfg).unwrap();
+        assert_eq!(res.clusters.len(), 2);
+        assert_eq!(res.assignments[60], NOISE);
+        assert_eq!(res.assignments[61], NOISE);
+        assert_cores_agree(&ds, &cfg);
+    }
+
+    #[test]
+    fn cores_agree_on_noisy_blobs() {
+        let (mut ds, _) = blobs(4, 25, 16);
+        let mut rng = seeded(17);
+        for _ in 0..12 {
+            ds.push(&[rng.gen::<f64>(), rng.gen::<f64>()]).unwrap();
+        }
+        assert_cores_agree(&ds, &HierarchicalConfig::paper_defaults(4));
     }
 }

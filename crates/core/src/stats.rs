@@ -159,6 +159,31 @@ mod tests {
     }
 
     #[test]
+    fn quantile_boundaries() {
+        // q = 0 and q = 1 are exact order statistics (no interpolation),
+        // even with duplicates at the extremes.
+        let xs = [5.0, -1.0, 5.0, 3.0, -1.0];
+        assert_eq!(quantile(&xs, 0.0), -1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        // A single element is every quantile of itself.
+        assert_eq!(quantile(&[7.25], 0.0), 7.25);
+        assert_eq!(quantile(&[7.25], 0.5), 7.25);
+        assert_eq!(quantile(&[7.25], 1.0), 7.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile of empty slice")]
+    fn quantile_rejects_empty() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be in [0,1]")]
+    fn quantile_rejects_out_of_range_q() {
+        quantile(&[1.0, 2.0], 1.5);
+    }
+
+    #[test]
     fn online_matches_batch() {
         let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
         let mut o = Online::new();

@@ -44,10 +44,19 @@ impl WeightedSample {
 
     /// A uniform sample: every weight is `n/b` where `n` is the source size
     /// and `b` the sample size (inverse of the uniform inclusion rate).
+    ///
+    /// An empty sample is an error: there is no inclusion rate to invert,
+    /// and silently returning a zero-point sample hides upstream bugs
+    /// (a sampler that produced nothing should be surfaced, not weighted).
     pub fn uniform(points: Dataset, source_indices: Vec<usize>, source_len: usize) -> Result<Self> {
-        let b = points.len().max(1);
+        let b = points.len();
+        if b == 0 {
+            return Err(Error::InvalidParameter(
+                "cannot build a uniform weighted sample from zero points".into(),
+            ));
+        }
         let w = source_len as f64 / b as f64;
-        let weights = vec![w; points.len()];
+        let weights = vec![w; b];
         WeightedSample::new(points, weights, source_indices)
     }
 
@@ -115,6 +124,11 @@ mod tests {
         let s = WeightedSample::uniform(pts(), vec![0, 5, 9], 30).unwrap();
         assert_eq!(s.weights(), &[10.0, 10.0, 10.0]);
         assert!((s.estimated_source_size() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_rejects_empty_sample() {
+        assert!(WeightedSample::uniform(Dataset::new(1), vec![], 30).is_err());
     }
 
     #[test]

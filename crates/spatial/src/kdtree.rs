@@ -335,12 +335,30 @@ impl KdTree {
         query: &[f64],
         exclude: usize,
     ) -> Option<(usize, f64)> {
+        self.nearest_excluding_sq(data, query, exclude)
+            .map(|(i, d)| (i, d.sqrt()))
+    }
+
+    /// [`KdTree::nearest_excluding`] returning the **squared** distance.
+    ///
+    /// The squared value is exactly what the search computed
+    /// (`euclidean_sq`, no rounding through a square root), so callers that
+    /// work in squared distances throughout — the hierarchical merge loop —
+    /// stay bit-equal to direct `euclidean_sq` comparisons. Squaring the
+    /// rounded return of [`KdTree::nearest_excluding`] instead can differ
+    /// in the last ulp.
+    pub fn nearest_excluding_sq(
+        &self,
+        data: &Dataset,
+        query: &[f64],
+        exclude: usize,
+    ) -> Option<(usize, f64)> {
         let mut best = (u32::MAX, f64::INFINITY);
         self.nearest_rec(data, query, self.root, &mut best, exclude as u32);
         if best.0 == u32::MAX {
             None
         } else {
-            Some((best.0 as usize, best.1.sqrt()))
+            Some((best.0 as usize, best.1))
         }
     }
 

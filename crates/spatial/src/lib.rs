@@ -9,12 +9,18 @@
 //! * [`GridIndex`] — a uniform bucket grid, used to prune kernel-center
 //!   evaluations in the KDE and as the basis of the cell-based exact outlier
 //!   detector.
+//! * [`RepIndex`] — a dynamic bucket grid mapping cluster representative
+//!   points to owning cluster ids, with an exact lowest-owner-tie-broken
+//!   nearest-neighbor query; the engine under the hierarchical clustering
+//!   merge loop.
 
 // Numeric-kernel loops in this crate index several parallel slices at once,
 // and NaN-rejecting guards are written as negated comparisons on purpose.
 #![allow(clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
 pub mod gridindex;
 pub mod kdtree;
+pub mod repindex;
 
 pub use gridindex::GridIndex;
 pub use kdtree::KdTree;
+pub use repindex::RepIndex;

@@ -1,0 +1,499 @@
+//! Dynamic grid index over cluster representative points.
+//!
+//! The hierarchical merge loop (`dbs-cluster::hierarchical`) needs one query
+//! answered fast, over and over: *which other cluster has the representative
+//! point closest to this one?* [`RepIndex`] answers it with a uniform bucket
+//! grid mapping representative point → owning cluster id, updated
+//! incrementally as merges replace representative sets and trims drop
+//! clusters.
+//!
+//! The query contract is exact, not approximate: [`RepIndex::nearest_owner_sq`]
+//! returns the minimum over all indexed reps of the *squared* Euclidean
+//! distance, computed with [`dbs_core::metric::euclidean_sq`] on the stored
+//! coordinates — bit-equal to what a linear scan over the same rep pairs
+//! would produce — and breaks distance ties toward the **lowest owner id**.
+//! That tie-break is what makes the accelerated merge loop reproduce the
+//! reference loop's merge sequence exactly (see the determinism contract in
+//! DESIGN.md §5).
+
+use dbs_core::metric::euclidean_sq;
+use dbs_core::BoundingBox;
+
+/// A dynamic uniform-grid index of points labeled with owner ids.
+///
+/// Points outside the domain are clamped into the boundary cells (same
+/// convention as [`crate::GridIndex`]), so every inserted point is always
+/// retrievable. Buckets store owners and coordinates in parallel arrays;
+/// removal is by owner over the cells the caller's points hash to.
+#[derive(Debug, Clone)]
+pub struct RepIndex {
+    domain: BoundingBox,
+    cells_per_dim: usize,
+    dim: usize,
+    /// Owner id of each rep, bucketed per cell.
+    owners: Vec<Vec<u32>>,
+    /// Flattened `dim`-strided coordinates, parallel to `owners`.
+    coords: Vec<Vec<f64>>,
+    len: usize,
+}
+
+impl RepIndex {
+    /// Builds an empty index over `domain`, sized for `expected_points`
+    /// representative points.
+    ///
+    /// Panics if the resolved grid would exceed `2^26` cells (same cap as
+    /// [`crate::GridIndex`]); `expected_points` only guides the resolution.
+    pub fn new(domain: BoundingBox, expected_points: usize) -> Self {
+        let dim = domain.dim();
+        let cells_per_dim = crate::GridIndex::auto_resolution(expected_points.max(1), dim, 2);
+        Self::with_resolution(domain, cells_per_dim)
+    }
+
+    fn with_resolution(domain: BoundingBox, cells_per_dim: usize) -> Self {
+        let dim = domain.dim();
+        let total = cells_per_dim
+            .checked_pow(dim as u32)
+            .filter(|&t| t <= 1 << 26)
+            .expect("rep grid too large; lower the resolution");
+        RepIndex {
+            domain,
+            cells_per_dim,
+            dim,
+            owners: vec![Vec::new(); total],
+            coords: vec![Vec::new(); total],
+            len: 0,
+        }
+    }
+
+    /// Number of indexed representative points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Per-dimension cell coordinate of `x` along dimension `j` (clamped).
+    #[inline]
+    fn cell_coord(&self, j: usize, x: f64) -> usize {
+        let extent = self.domain.extent(j);
+        let rel = if extent > 0.0 {
+            (x - self.domain.min()[j]) / extent
+        } else {
+            0.0
+        };
+        ((rel * self.cells_per_dim as f64) as isize).clamp(0, self.cells_per_dim as isize - 1)
+            as usize
+    }
+
+    /// Flattened cell index containing `p`.
+    fn cell_of(&self, p: &[f64]) -> usize {
+        debug_assert_eq!(p.len(), self.dim);
+        let mut cell = 0usize;
+        for j in 0..self.dim {
+            cell = cell * self.cells_per_dim + self.cell_coord(j, p[j]);
+        }
+        cell
+    }
+
+    /// Indexes `rep` under `owner`.
+    pub fn insert(&mut self, owner: u32, rep: &[f64]) {
+        let cell = self.cell_of(rep);
+        self.owners[cell].push(owner);
+        self.coords[cell].extend_from_slice(rep);
+        self.len += 1;
+    }
+
+    /// Indexes every rep in `reps` under `owner`.
+    pub fn insert_all(&mut self, owner: u32, reps: &[Vec<f64>]) {
+        for rep in reps {
+            self.insert(owner, rep);
+        }
+    }
+
+    /// Removes every entry of `owner` from the cells its `reps` hash to.
+    ///
+    /// `reps` must be the exact point set previously inserted for `owner`
+    /// (the caller — the merge loop — always has it at hand); passing a
+    /// different set leaves stray entries behind.
+    pub fn remove_all(&mut self, owner: u32, reps: &[Vec<f64>]) {
+        let dim = self.dim;
+        for rep in reps {
+            let cell = self.cell_of(rep);
+            let owners = &mut self.owners[cell];
+            let coords = &mut self.coords[cell];
+            // One pass removes every entry of this owner in the cell; later
+            // reps hashing to the same cell find nothing left, which is fine.
+            let mut slot = 0;
+            while slot < owners.len() {
+                if owners[slot] == owner {
+                    owners.swap_remove(slot);
+                    let last = coords.len() - dim;
+                    let base = slot * dim;
+                    if base < last {
+                        let (head, tail) = coords.split_at_mut(last);
+                        head[base..base + dim].copy_from_slice(tail);
+                    }
+                    coords.truncate(last);
+                    self.len -= 1;
+                } else {
+                    slot += 1;
+                }
+            }
+        }
+    }
+
+    /// Halves the grid resolution when the index has become sparse, so the
+    /// ring search of [`RepIndex::nearest_owner_sq`] never wades through a
+    /// sea of empty cells late in a merge run. Query results are unaffected
+    /// (the query is exact at any resolution); call freely.
+    pub fn maybe_coarsen(&mut self) {
+        while self.cells_per_dim >= 4 && self.len * 8 < self.owners.len() {
+            let mut rebuilt = Self::with_resolution(self.domain.clone(), self.cells_per_dim / 2);
+            for (cell, owners) in self.owners.iter().enumerate() {
+                let coords = &self.coords[cell];
+                for (slot, &owner) in owners.iter().enumerate() {
+                    rebuilt.insert(owner, &coords[slot * self.dim..(slot + 1) * self.dim]);
+                }
+            }
+            *self = rebuilt;
+        }
+    }
+
+    /// The nearest indexed rep not owned by `exclude`: returns
+    /// `(owner, squared_distance)`, or `None` when no other owner is
+    /// indexed.
+    ///
+    /// Distance ties break toward the lowest owner id: the result is the
+    /// lexicographic minimum of `(euclidean_sq(query, rep), owner)` over all
+    /// candidate reps — exactly what an ascending-id linear scan with a
+    /// strict `<` distance test computes.
+    pub fn nearest_owner_sq(&self, query: &[f64], exclude: u32) -> Option<(u32, f64)> {
+        debug_assert_eq!(query.len(), self.dim);
+        let dim = self.dim;
+        let mut best_d = f64::INFINITY;
+        let mut best_owner = u32::MAX;
+        let mut found = false;
+
+        let scan_cell = |cell: usize, best_d: &mut f64, best_owner: &mut u32| {
+            let owners = &self.owners[cell];
+            let coords = &self.coords[cell];
+            for (slot, &owner) in owners.iter().enumerate() {
+                if owner == exclude {
+                    continue;
+                }
+                let d = euclidean_sq(query, &coords[slot * dim..(slot + 1) * dim]);
+                if d < *best_d || (d == *best_d && owner < *best_owner) {
+                    *best_d = d;
+                    *best_owner = owner;
+                }
+            }
+        };
+
+        // Expanding ring search in cell space (Chebyshev rings around the
+        // query's cell). A ring may only be skipped once no cell in it can
+        // contain a rep at distance <= best_d — `<=`, not `<`, because an
+        // equal-distance rep with a lower owner id would change the
+        // tie-break.
+        let center: Vec<usize> = (0..dim).map(|j| self.cell_coord(j, query[j])).collect();
+        let max_ring = self.cells_per_dim; // rings beyond this are empty
+        let mut coords_buf = vec![0usize; dim];
+        for ring in 0..=max_ring {
+            if found {
+                let lb = self.ring_lower_bound_sq(query, &center, ring);
+                if lb > best_d {
+                    break;
+                }
+            }
+            let mut any_cell = false;
+            self.for_each_ring_cell(&center, ring, &mut coords_buf, |cell| {
+                any_cell = true;
+                scan_cell(cell, &mut best_d, &mut best_owner);
+            });
+            if best_owner != u32::MAX {
+                found = true;
+            }
+            if !any_cell {
+                break; // ring entirely outside the grid: nothing further out
+            }
+        }
+        if best_owner == u32::MAX {
+            None
+        } else {
+            Some((best_owner, best_d))
+        }
+    }
+
+    /// Lower bound on the squared distance from `query` to any point in a
+    /// cell at Chebyshev ring `ring` around `center` (0 for ring 0).
+    fn ring_lower_bound_sq(&self, query: &[f64], center: &[usize], ring: usize) -> f64 {
+        if ring == 0 {
+            return 0.0;
+        }
+        // A ring-`ring` cell is offset by exactly `ring` cells in some
+        // dimension. The gap to such a cell is at least `ring - 1` full
+        // cells plus the query's distance to its own cell edge on that side;
+        // minimize over dimensions and sides for a valid bound.
+        let mut lb = f64::INFINITY;
+        for j in 0..self.dim {
+            let w = self.domain.extent(j) / self.cells_per_dim as f64;
+            if !(w > 0.0) {
+                // Degenerate dimension: every cell coordinate is 0, so no
+                // cell is ever `ring` away along it.
+                continue;
+            }
+            let cell_lo = self.domain.min()[j] + center[j] as f64 * w;
+            let cell_hi = cell_lo + w;
+            // Offset -ring (only reachable if the grid extends that far).
+            if center[j] >= ring {
+                let gap = (query[j] - cell_lo).max(0.0) + (ring - 1) as f64 * w;
+                lb = lb.min(gap);
+            }
+            // Offset +ring.
+            if center[j] + ring < self.cells_per_dim {
+                let gap = (cell_hi - query[j]).max(0.0) + (ring - 1) as f64 * w;
+                lb = lb.min(gap);
+            }
+        }
+        if lb.is_finite() {
+            lb * lb
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Visits every in-grid cell at Chebyshev ring `ring` around `center`.
+    fn for_each_ring_cell(
+        &self,
+        center: &[usize],
+        ring: usize,
+        coords: &mut [usize],
+        mut visit: impl FnMut(usize),
+    ) {
+        let dim = self.dim;
+        let cpd = self.cells_per_dim as isize;
+        let r = ring as isize;
+        // Iterate the (2r+1)^d offset box with an odometer, keeping only
+        // offsets whose Chebyshev norm is exactly r and whose cell is in
+        // the grid.
+        let lo: Vec<isize> = center.iter().map(|&c| c as isize - r).collect();
+        let hi: Vec<isize> = center.iter().map(|&c| c as isize + r).collect();
+        let mut off = lo.clone();
+        'odometer: loop {
+            let mut on_shell = false;
+            let mut in_grid = true;
+            for j in 0..dim {
+                let c = off[j];
+                if c < 0 || c >= cpd {
+                    in_grid = false;
+                    break;
+                }
+                if (c - center[j] as isize).abs() == r {
+                    on_shell = true;
+                }
+                coords[j] = c as usize;
+            }
+            if in_grid && (on_shell || r == 0) {
+                let mut cell = 0usize;
+                for &c in coords.iter() {
+                    cell = cell * self.cells_per_dim + c;
+                }
+                visit(cell);
+            }
+            // Advance; skip the interior of the box wholesale where
+            // possible: once every leading dimension is strictly inside the
+            // shell, the last dimension only takes its two shell values.
+            let mut j = dim;
+            loop {
+                if j == 0 {
+                    break 'odometer;
+                }
+                j -= 1;
+                if j == dim - 1 && r > 0 {
+                    // Fast-advance the innermost dimension across the
+                    // interior when no outer dimension pins us to the shell.
+                    let outer_on_shell =
+                        (0..dim - 1).any(|t| (off[t] - center[t] as isize).abs() == r);
+                    if !outer_on_shell && off[j] == lo[j] {
+                        off[j] = hi[j];
+                        continue 'odometer;
+                    }
+                }
+                if off[j] < hi[j] {
+                    off[j] += 1;
+                    off[(j + 1)..dim].copy_from_slice(&lo[(j + 1)..dim]);
+                    continue 'odometer;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbs_core::rng::seeded;
+    use rand::Rng;
+
+    /// Reference linear scan with the documented tie-break.
+    fn brute_nearest(
+        points: &[(u32, Vec<f64>)],
+        query: &[f64],
+        exclude: u32,
+    ) -> Option<(u32, f64)> {
+        let mut best: Option<(u32, f64)> = None;
+        for (owner, p) in points {
+            if *owner == exclude {
+                continue;
+            }
+            let d = euclidean_sq(query, p);
+            best = match best {
+                None => Some((*owner, d)),
+                Some((bo, bd)) if d < bd || (d == bd && *owner < bo) => Some((*owner, d)),
+                keep => keep,
+            };
+        }
+        best
+    }
+
+    fn random_points(n: usize, dim: usize, seed: u64) -> Vec<(u32, Vec<f64>)> {
+        let mut rng = seeded(seed);
+        (0..n)
+            .map(|i| {
+                let p: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+                // Several reps per owner.
+                ((i / 3) as u32, p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan_with_tiebreak() {
+        for dim in [1usize, 2, 3, 5] {
+            let points = random_points(200, dim, 7 + dim as u64);
+            let mut index = RepIndex::new(BoundingBox::unit(dim), 200);
+            for (owner, p) in &points {
+                index.insert(*owner, p);
+            }
+            let mut rng = seeded(99);
+            for _ in 0..50 {
+                let q: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+                let exclude = rng.gen_range(0..70u32);
+                let got = index.nearest_owner_sq(&q, exclude);
+                let want = brute_nearest(&points, &q, exclude);
+                assert_eq!(got, want, "dim={dim} q={q:?} exclude={exclude}");
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_toward_lowest_owner() {
+        // Two owners with reps at mirror-image positions: equal distance
+        // from the midpoint query.
+        let mut index = RepIndex::new(BoundingBox::unit(1), 4);
+        index.insert(9, &[0.25]);
+        index.insert(3, &[0.75]);
+        let (owner, d) = index.nearest_owner_sq(&[0.5], u32::MAX).unwrap();
+        assert_eq!(owner, 3);
+        assert!((d - 0.0625).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exclude_skips_owner_entirely() {
+        let mut index = RepIndex::new(BoundingBox::unit(2), 8);
+        index.insert(0, &[0.5, 0.5]);
+        index.insert(0, &[0.51, 0.5]);
+        index.insert(1, &[0.9, 0.9]);
+        let (owner, _) = index.nearest_owner_sq(&[0.5, 0.5], 0).unwrap();
+        assert_eq!(owner, 1);
+        assert!(index.nearest_owner_sq(&[0.5, 0.5], u32::MAX).is_some());
+        index.remove_all(1, &[vec![0.9, 0.9]]);
+        assert!(index.nearest_owner_sq(&[0.5, 0.5], 0).is_none());
+    }
+
+    #[test]
+    fn remove_then_query_is_consistent() {
+        let points = random_points(150, 2, 21);
+        let mut index = RepIndex::new(BoundingBox::unit(2), 150);
+        for (owner, p) in &points {
+            index.insert(*owner, p);
+        }
+        // Remove every even owner.
+        let mut survivors: Vec<(u32, Vec<f64>)> = Vec::new();
+        for owner in 0..50u32 {
+            let reps: Vec<Vec<f64>> = points
+                .iter()
+                .filter(|(o, _)| *o == owner)
+                .map(|(_, p)| p.clone())
+                .collect();
+            if owner % 2 == 0 {
+                index.remove_all(owner, &reps);
+            } else {
+                survivors.extend(reps.into_iter().map(|p| (owner, p)));
+            }
+        }
+        assert_eq!(index.len(), survivors.len());
+        let mut rng = seeded(22);
+        for _ in 0..30 {
+            let q: Vec<f64> = (0..2).map(|_| rng.gen::<f64>()).collect();
+            assert_eq!(
+                index.nearest_owner_sq(&q, u32::MAX),
+                brute_nearest(&survivors, &q, u32::MAX)
+            );
+        }
+    }
+
+    #[test]
+    fn coarsening_preserves_query_results() {
+        let points = random_points(400, 2, 31);
+        let mut index = RepIndex::new(BoundingBox::unit(2), 40_000);
+        for (owner, p) in &points {
+            index.insert(*owner, p);
+        }
+        let before = index.cells_per_dim;
+        index.maybe_coarsen();
+        assert!(index.cells_per_dim < before, "expected a coarsening step");
+        let mut rng = seeded(32);
+        for _ in 0..30 {
+            let q: Vec<f64> = (0..2).map(|_| rng.gen::<f64>()).collect();
+            assert_eq!(
+                index.nearest_owner_sq(&q, u32::MAX),
+                brute_nearest(&points, &q, u32::MAX)
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_domain_points_are_retrievable() {
+        let mut index = RepIndex::new(BoundingBox::unit(2), 10);
+        index.insert(0, &[-0.5, 2.0]);
+        let got = index.nearest_owner_sq(&[1.5, 1.5], u32::MAX);
+        let want = euclidean_sq(&[1.5, 1.5], &[-0.5, 2.0]);
+        assert_eq!(got, Some((0, want)));
+    }
+
+    #[test]
+    fn degenerate_domain_single_cell() {
+        let domain = BoundingBox::new(vec![0.5, 0.5], vec![0.5, 0.5]);
+        let mut index = RepIndex::new(domain, 4);
+        index.insert(1, &[0.5, 0.5]);
+        index.insert(2, &[0.5, 0.5]);
+        let (owner, d) = index.nearest_owner_sq(&[0.5, 0.5], 1).unwrap();
+        assert_eq!((owner, d), (2, 0.0));
+        // Tie at zero distance: lowest owner wins.
+        let (owner, _) = index.nearest_owner_sq(&[0.5, 0.5], u32::MAX).unwrap();
+        assert_eq!(owner, 1);
+    }
+
+    #[test]
+    fn duplicate_heavy_workload() {
+        let mut index = RepIndex::new(BoundingBox::unit(2), 100);
+        for owner in 0..50u32 {
+            index.insert(owner, &[0.2, 0.2]);
+        }
+        let (owner, d) = index.nearest_owner_sq(&[0.2, 0.2], 7).unwrap();
+        assert_eq!((owner, d), (0, 0.0));
+    }
+}

@@ -22,6 +22,12 @@ build:
 bench:
     cargo bench --workspace
 
+# CURE merge-loop scaling: accelerated core vs retained reference loop.
+# CURE_SCALING_FULL_REF=1 also runs the (slow) reference at 50k, as done
+# for the recorded BENCH_cure_scaling.json.
+bench-cure:
+    CRITERION_JSON=BENCH_cure_scaling.json cargo bench -p dbs-bench --bench cure_scaling
+
 # Regenerate the CI-sized versions of every paper figure/table.
 experiments:
     cargo run --release -p dbs-experiments -- all

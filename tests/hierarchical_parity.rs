@@ -1,0 +1,110 @@
+//! Determinism contract of the accelerated CURE merge loop
+//! (`dbs_cluster::hierarchical`): the heap + rep-index core must reproduce
+//! the retained reference loop's `Clustering` — assignments, member lists,
+//! means, and representative points — **bit for bit**, for every
+//! dimensionality and thread count. The merge sequence is fully determined
+//! by the lowest-cluster-id tie-break, so any divergence (a different merge
+//! order, a trim firing at a different time, a last-ulp distance
+//! disagreement) shows up as a hard output mismatch here.
+
+use std::num::NonZeroUsize;
+
+use dbs_cluster::{hierarchical_cluster, hierarchical_cluster_reference, HierarchicalConfig};
+use dbs_core::rng::seeded;
+use dbs_core::Dataset;
+use proptest::prelude::*;
+use rand::Rng;
+
+const DIMS: [usize; 3] = [2, 3, 5];
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn nz(t: usize) -> NonZeroUsize {
+    NonZeroUsize::new(t).expect("positive thread count")
+}
+
+/// A few gaussian-ish blobs plus uniform strays, so merge, trim, and
+/// stale-pointer refresh paths all run. Blob spreads differ so distance
+/// ties and trim triggers land at varied scales.
+fn workload(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = seeded(seed);
+    let blobs = 4usize;
+    let strays = n / 12;
+    let mut ds = Dataset::with_capacity(dim, n + strays);
+    let mut p = vec![0.0f64; dim];
+    for i in 0..n {
+        let b = i % blobs;
+        let center = (b as f64 + 0.5) / blobs as f64;
+        let spread = 0.03 + 0.02 * b as f64;
+        for x in p.iter_mut() {
+            *x = center + (rng.gen::<f64>() - 0.5) * spread;
+        }
+        ds.push(&p).expect("fixed dim");
+    }
+    for _ in 0..strays {
+        for x in p.iter_mut() {
+            *x = rng.gen::<f64>();
+        }
+        ds.push(&p).expect("fixed dim");
+    }
+    ds
+}
+
+/// Flattens a `Clustering` into comparable bit patterns.
+fn fingerprint(
+    c: &dbs_cluster::Clustering,
+) -> (Vec<usize>, Vec<(Vec<usize>, Vec<u64>, Vec<Vec<u64>>)>) {
+    let clusters = c
+        .clusters
+        .iter()
+        .map(|fc| {
+            (
+                fc.members.clone(),
+                fc.mean.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                fc.representatives
+                    .iter()
+                    .map(|r| r.iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    (c.assignments.clone(), clusters)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Accelerated core ≡ reference loop, bit for bit, across dims and
+    /// thread counts — with trimming active and disabled.
+    #[test]
+    fn accelerated_core_is_bit_identical_to_reference(seed in 0u64..10_000) {
+        for dim in DIMS {
+            let n = if dim == 2 { 600 } else { 300 };
+            let data = workload(n, dim, seed ^ (dim as u64) << 32);
+            for trim_min_size in [3usize, 0] {
+                let mut base = HierarchicalConfig::paper_defaults(4);
+                base.trim_min_size = trim_min_size;
+                let reference = hierarchical_cluster_reference(
+                    &data,
+                    &base.clone().with_parallelism(nz(1)),
+                )
+                .expect("reference clustering");
+                let want = fingerprint(&reference);
+                for t in THREADS {
+                    let fast = hierarchical_cluster(
+                        &data,
+                        &base.clone().with_parallelism(nz(t)),
+                    )
+                    .expect("accelerated clustering");
+                    prop_assert_eq!(
+                        &fingerprint(&fast),
+                        &want,
+                        "dim {} trim_min_size {} threads {}",
+                        dim,
+                        trim_min_size,
+                        t
+                    );
+                }
+            }
+        }
+    }
+}
