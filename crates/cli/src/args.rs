@@ -67,9 +67,12 @@ commands:
               --at X,Y,...    query point (original coordinates)
               --kernels K     kernel centers (default 1000)
 common options:
-  --seed N      RNG seed (default 0)
-  --threads N   worker threads (default: all available cores; results are
-                identical for every value)
+  --seed N            RNG seed (default 0)
+  --threads N         worker threads (default: all available cores; results
+                      are identical for every value)
+  --metrics-out FILE  write stage timings and operation counters (dataset
+                      passes, kernel evaluations, ball samples, ...) as
+                      JSON; never changes any computed output
 ";
 
 /// Parses raw arguments (without the program name).

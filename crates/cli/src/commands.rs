@@ -7,25 +7,45 @@
 use std::io::Write;
 use std::path::Path;
 
-use dbs_cluster::{hierarchical_cluster, HierarchicalConfig, NOISE};
+use dbs_cluster::{hierarchical_cluster_obs, HierarchicalConfig, NOISE};
 use dbs_core::io::{read_binary, read_text, write_text};
+use dbs_core::obs::Recorder;
 use dbs_core::{BoundingBox, Dataset, MinMaxScaler};
 use dbs_density::{DensityEstimator, KdeConfig, KernelDensityEstimator};
-use dbs_outlier::{approx_outliers, ApproxConfig, DbOutlierParams};
-use dbs_sampling::{density_biased_sample, BiasedConfig};
+use dbs_outlier::{approx_outliers_obs, ApproxConfig, DbOutlierParams};
+use dbs_sampling::{density_biased_sample_obs, BiasedConfig};
 
 use crate::args::{Command, ParsedArgs};
 
 /// Runs a parsed invocation, writing human-readable output to `out`.
+///
+/// With `--metrics-out FILE` an enabled [`Recorder`] is threaded through the
+/// pipeline and its JSON snapshot written to `FILE` afterwards; the
+/// human-readable output on `out` is byte-identical either way.
 pub fn run(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
-    let data = load(&args.input)?;
+    let metrics_path = args.get_str("metrics-out");
+    let rec = if metrics_path.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let data = {
+        let _span = rec.span("load");
+        load(&args.input)?
+    };
     match args.command {
         Command::Info => info(&data, out),
-        Command::Sample => sample(args, &data, out),
-        Command::Cluster => cluster(args, &data, out),
-        Command::Outliers => outliers(args, &data, out),
-        Command::Density => density(args, &data, out),
+        Command::Sample => sample(args, &data, &rec, out),
+        Command::Cluster => cluster(args, &data, &rec, out),
+        Command::Outliers => outliers(args, &data, &rec, out),
+        Command::Density => density(args, &data, &rec, out),
+    }?;
+    if let Some(path) = metrics_path {
+        let report = rec.snapshot().expect("recorder enabled when path given");
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("cannot write metrics to {path}: {e}"))?;
     }
+    Ok(())
 }
 
 fn load(path: &str) -> Result<Dataset, String> {
@@ -71,15 +91,26 @@ fn info(data: &Dataset, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
-fn sample(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(), String> {
+fn sample(
+    args: &ParsedArgs,
+    data: &Dataset,
+    rec: &Recorder,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     let (scaled, scaler) = normalize(data)?;
-    let est = fit_kde(&scaled, args)?;
+    let est = {
+        let _span = rec.span("fit_density");
+        fit_kde(&scaled, args)?
+    };
     let b = args.get_usize("size", 1000)?;
     let a = args.get_f64("exponent", 1.0)?;
     let cfg = BiasedConfig::new(b, a)
         .with_seed(args.get_u64("seed", 0)?)
         .with_parallelism(args.get_threads()?);
-    let (s, stats) = density_biased_sample(&scaled, &est, &cfg).map_err(|e| e.to_string())?;
+    let (s, stats) = {
+        let _span = rec.span("sample");
+        density_biased_sample_obs(&scaled, &est, &cfg, rec).map_err(|e| e.to_string())?
+    };
     writeln!(
         out,
         "sampled {} of {} points (target {b}, a = {a}, normalizer k = {:.4e}, {} clipped)",
@@ -122,9 +153,17 @@ fn sample(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(), 
     Ok(())
 }
 
-fn cluster(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(), String> {
+fn cluster(
+    args: &ParsedArgs,
+    data: &Dataset,
+    rec: &Recorder,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     let (scaled, scaler) = normalize(data)?;
-    let est = fit_kde(&scaled, args)?;
+    let est = {
+        let _span = rec.span("fit_density");
+        fit_kde(&scaled, args)?
+    };
     let b = args.get_usize("size", 1000)?;
     let a = args.get_f64("exponent", 1.0)?;
     let k = args.get_usize("clusters", 10)?;
@@ -132,12 +171,18 @@ fn cluster(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(),
     let cfg = BiasedConfig::new(b, a)
         .with_seed(args.get_u64("seed", 0)?)
         .with_parallelism(threads);
-    let (s, _) = density_biased_sample(&scaled, &est, &cfg).map_err(|e| e.to_string())?;
+    let (s, _) = {
+        let _span = rec.span("sample");
+        density_biased_sample_obs(&scaled, &est, &cfg, rec).map_err(|e| e.to_string())?
+    };
     let mut hc = HierarchicalConfig::paper_defaults(k).with_parallelism(threads);
     if args.get_flag("no-trim") {
         hc.trim_min_size = 0;
     }
-    let clustering = hierarchical_cluster(s.points(), &hc).map_err(|e| e.to_string())?;
+    let clustering = {
+        let _span = rec.span("cluster");
+        hierarchical_cluster_obs(s.points(), &hc, rec).map_err(|e| e.to_string())?
+    };
     let noise = clustering
         .assignments
         .iter()
@@ -171,9 +216,17 @@ fn cluster(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(),
     Ok(())
 }
 
-fn outliers(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(), String> {
+fn outliers(
+    args: &ParsedArgs,
+    data: &Dataset,
+    rec: &Recorder,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     let (scaled, scaler) = normalize(data)?;
-    let est = fit_kde(&scaled, args)?;
+    let est = {
+        let _span = rec.span("fit_density");
+        fit_kde(&scaled, args)?
+    };
     let radius = args.get_f64("radius", 0.05)?;
     let p = args.get_usize("neighbors", 3)?;
     let params = DbOutlierParams::new(radius, p).map_err(|e| e.to_string())?;
@@ -181,7 +234,10 @@ fn outliers(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<()
     cfg.slack = args.get_f64("slack", 3.0)?;
     cfg.seed = args.get_u64("seed", 0)?;
     cfg.parallelism = args.get_threads()?;
-    let report = approx_outliers(&scaled, &est, &cfg).map_err(|e| e.to_string())?;
+    let report = {
+        let _span = rec.span("outliers");
+        approx_outliers_obs(&scaled, &est, &cfg, rec).map_err(|e| e.to_string())?
+    };
     writeln!(
         out,
         "DB(p={p}, k={radius}) outliers: {} found ({} candidates verified, {} dataset passes + estimator pass)",
@@ -198,9 +254,17 @@ fn outliers(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<()
     Ok(())
 }
 
-fn density(args: &ParsedArgs, data: &Dataset, out: &mut dyn Write) -> Result<(), String> {
+fn density(
+    args: &ParsedArgs,
+    data: &Dataset,
+    rec: &Recorder,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     let (scaled, scaler) = normalize(data)?;
-    let est = fit_kde(&scaled, args)?;
+    let est = {
+        let _span = rec.span("fit_density");
+        fit_kde(&scaled, args)?
+    };
     // Single-point evaluation has no batch to spread across workers, but
     // the option is still validated so `--threads 0` fails uniformly.
     args.get_threads()?;
@@ -384,6 +448,35 @@ mod tests {
         }
         assert_eq!(outputs[0], outputs[1]);
         std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn metrics_out_writes_json_without_changing_output() {
+        let file = write_sample_file("metrics");
+        let metrics_file = format!("{file}.metrics.json");
+        let base = &[
+            "outliers",
+            &file,
+            "--radius",
+            "0.1",
+            "--neighbors",
+            "2",
+            "--kernels",
+            "200",
+            "--slack",
+            "10",
+        ];
+        let plain = run_cli(base);
+        let mut with_metrics: Vec<&str> = base.to_vec();
+        with_metrics.extend_from_slice(&["--metrics-out", &metrics_file]);
+        let instrumented = run_cli(&with_metrics);
+        assert_eq!(plain, instrumented, "metrics must not change the output");
+        let json = std::fs::read_to_string(&metrics_file).unwrap();
+        assert!(json.contains("\"dataset_passes\": 2"), "{json}");
+        assert!(json.contains("\"mc_ball_samples\""), "{json}");
+        assert!(json.contains("\"name\": \"outliers\""), "{json}");
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_file(&metrics_file).ok();
     }
 
     #[test]

@@ -49,6 +49,7 @@ use std::collections::BinaryHeap;
 use std::num::NonZeroUsize;
 
 use dbs_core::metric::euclidean_sq;
+use dbs_core::obs::{Counter, Recorder, Tally};
 use dbs_core::{par, stats, Dataset, Error, Result};
 use dbs_spatial::{KdTree, RepIndex};
 
@@ -460,7 +461,13 @@ impl Ord for HeapEntry {
 /// The closest other cluster of `id`, via the rep index: the lexicographic
 /// `(distance, owner)` minimum over `id`'s reps — exactly what the
 /// reference's ascending-id scan over [`cluster_dist`] values computes.
-fn recompute_via_index(index: &RepIndex, id: usize, reps: &[Vec<f64>]) -> (usize, f64) {
+fn recompute_via_index(
+    index: &RepIndex,
+    id: usize,
+    reps: &[Vec<f64>],
+    tally: &mut Tally,
+) -> (usize, f64) {
+    tally.add(Counter::RepIndexQueries, reps.len() as u64);
     let mut best = (usize::MAX, f64::INFINITY);
     for p in reps {
         if let Some((owner, d)) = index.nearest_owner_sq(p, id as u32) {
@@ -481,6 +488,7 @@ fn run_merge_loop(
     config: &HierarchicalConfig,
     clusters: &mut [Agglo],
     noise: &mut Vec<u32>,
+    tally: &mut Tally,
 ) -> usize {
     let n = clusters.len();
     let dim = data.dim();
@@ -543,19 +551,28 @@ fn run_merge_loop(
             }
         };
 
+    // Pop counts stay in locals (flushed to `tally` at each exit): writing
+    // through the tally reference inside the pop loop perturbs its codegen.
+    let mut pops = 0u64;
+    let mut stale = 0u64;
+
     while live > k {
         // Pop the globally closest pair (lowest id on distance ties),
         // discarding stale entries.
         let (best, u) = loop {
             let Some(Reverse(entry)) = heap.pop() else {
                 // Nothing mergeable (all remaining are mutually isolated).
+                tally.add(Counter::HeapPops, pops);
+                tally.add(Counter::HeapStalePops, stale);
                 return live;
             };
+            pops += 1;
             let id = entry.id as usize;
             if clusters[id].active && entry.gen == gens[id] {
                 debug_assert_eq!(entry.dist, clusters[id].closest_dist);
                 break (entry.dist, id);
             }
+            stale += 1;
         };
 
         // Noise trim (CURE's outlier handling, distance-triggered): each
@@ -582,7 +599,7 @@ fn run_merge_loop(
                     let id = active_ids[p] as usize;
                     if clusters[id].closest != usize::MAX && !clusters[clusters[id].closest].active
                     {
-                        let (j, d) = recompute_via_index(&index, id, &clusters[id].reps);
+                        let (j, d) = recompute_via_index(&index, id, &clusters[id].reps, tally);
                         clusters[id].closest = j;
                         clusters[id].closest_dist = d;
                         gens[id] += 1;
@@ -605,6 +622,7 @@ fn run_merge_loop(
         index.remove_all(v as u32, &clusters[v].reps);
         deactivate(&mut active_ids, &mut active_pos, v);
         apply_merge(data, clusters, u, v, config);
+        tally.add(Counter::ClusterMerges, 1);
         live -= 1;
         index.insert_all(u as u32, &clusters[u].reps);
         bboxes[u] = reps_bbox(&clusters[u].reps, dim);
@@ -613,7 +631,7 @@ fn run_merge_loop(
         // Refresh closest pointers: u itself, plus anyone pointing at u/v,
         // plus anyone the reshaped u is now closer to than their cached
         // closest (bbox-pruned exact check).
-        let (j, d) = recompute_via_index(&index, u, &clusters[u].reps);
+        let (j, d) = recompute_via_index(&index, u, &clusters[u].reps, tally);
         clusters[u].closest = j;
         clusters[u].closest_dist = d;
         gens[u] += 1;
@@ -624,7 +642,7 @@ fn run_merge_loop(
                 continue;
             }
             if clusters[id].closest == u || clusters[id].closest == v {
-                let (j, d) = recompute_via_index(&index, id, &clusters[id].reps);
+                let (j, d) = recompute_via_index(&index, id, &clusters[id].reps, tally);
                 clusters[id].closest = j;
                 clusters[id].closest_dist = d;
                 gens[id] += 1;
@@ -644,6 +662,8 @@ fn run_merge_loop(
             }
         }
     }
+    tally.add(Counter::HeapPops, pops);
+    tally.add(Counter::HeapStalePops, stale);
     live
 }
 
@@ -776,10 +796,25 @@ fn run_merge_loop_reference(
 /// # Ok::<(), dbs_core::Error>(())
 /// ```
 pub fn hierarchical_cluster(data: &Dataset, config: &HierarchicalConfig) -> Result<Clustering> {
+    hierarchical_cluster_obs(data, config, &Recorder::disabled())
+}
+
+/// [`hierarchical_cluster`] with metrics: heap pops (total and stale),
+/// rep-index nearest-owner queries, and merges performed are accumulated
+/// in a local tally during the serial merge loop and merged into
+/// `recorder` once at the end. The clustering is byte-identical to the
+/// plain entry point (which is this function with a disabled recorder).
+pub fn hierarchical_cluster_obs(
+    data: &Dataset,
+    config: &HierarchicalConfig,
+    recorder: &Recorder,
+) -> Result<Clustering> {
     validate(data, config)?;
     let mut clusters = init_singletons(data, config);
     let mut noise: Vec<u32> = Vec::new();
-    let live = run_merge_loop(data, config, &mut clusters, &mut noise);
+    let mut tally = Tally::default();
+    let live = run_merge_loop(data, config, &mut clusters, &mut noise, &mut tally);
+    recorder.merge(&tally);
     Ok(assemble(clusters, data.len(), live))
 }
 

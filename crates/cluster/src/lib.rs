@@ -31,8 +31,8 @@ pub mod kmedoids;
 pub use birch::{Birch, BirchClustering, BirchConfig};
 pub use eval::{clusters_found, clusters_found_by_centers, EvalConfig};
 pub use hierarchical::{
-    hierarchical_cluster, hierarchical_cluster_reference, Clustering, FoundCluster,
-    HierarchicalConfig, NOISE,
+    hierarchical_cluster, hierarchical_cluster_obs, hierarchical_cluster_reference, Clustering,
+    FoundCluster, HierarchicalConfig, NOISE,
 };
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use kmedoids::{kmedoids, KMedoidsConfig, KMedoidsResult};

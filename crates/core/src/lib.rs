@@ -25,6 +25,9 @@
 //! * [`par`] — the deterministic parallel executor every multi-threaded code
 //!   path uses: fixed chunk grids and chunk-ordered merging make results
 //!   independent of the thread count.
+//! * [`obs`] — the deterministic observability layer: named monotonic
+//!   counters and hierarchical timing spans, merged per par-chunk in chunk
+//!   order so enabling metrics never changes any computed output.
 
 // Numeric-kernel loops in this crate index several parallel slices at once,
 // and NaN-rejecting guards are written as negated comparisons on purpose.
@@ -35,6 +38,7 @@ pub mod error;
 pub mod io;
 pub mod metric;
 pub mod normalize;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod scan;

@@ -35,6 +35,7 @@ use std::sync::Mutex;
 
 use crate::dataset::Dataset;
 use crate::error::Result;
+use crate::obs::{Recorder, Tally};
 use crate::scan::PointSource;
 
 /// Points per work chunk. Fixed — *never* derived from the thread count —
@@ -79,6 +80,48 @@ where
     F: Fn(Range<usize>, &Dataset) -> T + Sync,
 {
     scan_chunks(source, threads, CHUNK_POINTS, per_chunk)
+}
+
+/// [`par_scan`] with a per-chunk [`Tally`] for operation counting: each
+/// chunk accumulates counts into its own stack-local tally, and the tallies
+/// are merged **in chunk order** into `recorder` after the scan. Counter
+/// merging is integer addition (exactly associative), so recorded totals —
+/// like the scan results themselves — are identical at every thread count.
+///
+/// The tally is passed unconditionally (incrementing a stack `u64` is
+/// cheaper than branching on the recorder per point); a disabled recorder
+/// makes the final merge a no-op. This primitive does **not** count
+/// [`crate::obs::Counter::DatasetPasses`] — pass accounting belongs to
+/// pipeline entry points, which know whether `source` is the caller's
+/// primary data or a derived buffer.
+pub fn par_scan_tallied<S, T, F>(
+    source: &S,
+    threads: NonZeroUsize,
+    recorder: &Recorder,
+    per_chunk: F,
+) -> Result<Vec<T>>
+where
+    S: PointSource + ?Sized,
+    T: Send,
+    F: Fn(Range<usize>, &Dataset, &mut Tally) -> T + Sync,
+{
+    let pairs = scan_chunks(source, threads, CHUNK_POINTS, |range, ds| {
+        let mut tally = Tally::default();
+        let out = per_chunk(range, ds, &mut tally);
+        (out, tally)
+    })?;
+    let mut results = Vec::with_capacity(pairs.len());
+    if recorder.is_enabled() {
+        let mut total = Tally::default();
+        for (out, tally) in pairs {
+            total.merge(&tally);
+            results.push(out);
+        }
+        recorder.merge(&total);
+    } else {
+        results.extend(pairs.into_iter().map(|(out, _)| out));
+    }
+    Ok(results)
 }
 
 /// [`par_scan`] with an explicit chunk size (kept non-public: a caller-chosen
@@ -331,6 +374,39 @@ mod tests {
         let vals = par_map(&counted, t(4), |_, p| p[0]).unwrap();
         assert_eq!(vals.len(), 50);
         assert_eq!(counted.passes(), 1, "buffering the source is one pass");
+    }
+
+    #[test]
+    fn tallied_scan_counts_deterministically() {
+        use crate::obs::{Counter, Recorder};
+        let ds = numbered(10_000);
+        let mut expected: Option<(Vec<usize>, u64)> = None;
+        for threads in [1, 2, 7] {
+            let rec = Recorder::enabled();
+            let per_chunk = par_scan_tallied(&ds, t(threads), &rec, |range, _, tally| {
+                tally.add(Counter::VerifyDistanceEvals, range.len() as u64);
+                range.len()
+            })
+            .unwrap();
+            let total = rec.counter(Counter::VerifyDistanceEvals);
+            assert_eq!(total, 10_000);
+            match &expected {
+                None => expected = Some((per_chunk, total)),
+                Some((chunks, count)) => {
+                    assert_eq!(&per_chunk, chunks, "threads = {threads}");
+                    assert_eq!(total, *count, "threads = {threads}");
+                }
+            }
+        }
+        // A disabled recorder changes nothing about the results.
+        let rec = Recorder::disabled();
+        let per_chunk = par_scan_tallied(&ds, t(4), &rec, |range, _, tally| {
+            tally.add(Counter::VerifyDistanceEvals, range.len() as u64);
+            range.len()
+        })
+        .unwrap();
+        assert_eq!(per_chunk, expected.unwrap().0);
+        assert_eq!(rec.counter(Counter::VerifyDistanceEvals), 0);
     }
 
     #[test]

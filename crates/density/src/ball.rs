@@ -8,6 +8,7 @@
 //! density, multiply by the ball volume.
 
 use dbs_core::metric::ball_volume;
+use dbs_core::obs::{Counter, Tally};
 use dbs_core::rng::{seeded, standard_normal};
 use rand::Rng;
 
@@ -73,6 +74,36 @@ pub fn expected_neighbors<E: DensityEstimator + ?Sized>(
     seed: u64,
 ) -> f64 {
     integrate_ball(est, center, r, samples, seed)
+}
+
+/// [`integrate_ball`] with the Monte-Carlo evaluation points charged to
+/// `tally` ([`Counter::BallSamples`]). A zero-radius ball spends no
+/// evaluation points and records none.
+pub fn integrate_ball_tallied<E: DensityEstimator + ?Sized>(
+    est: &E,
+    center: &[f64],
+    r: f64,
+    samples: usize,
+    seed: u64,
+    tally: &mut Tally,
+) -> f64 {
+    if r > 0.0 {
+        tally.add(Counter::BallSamples, samples as u64);
+    }
+    integrate_ball(est, center, r, samples, seed)
+}
+
+/// [`expected_neighbors`] with ball-sample accounting, see
+/// [`integrate_ball_tallied`].
+pub fn expected_neighbors_tallied<E: DensityEstimator + ?Sized>(
+    est: &E,
+    center: &[f64],
+    r: f64,
+    samples: usize,
+    seed: u64,
+    tally: &mut Tally,
+) -> f64 {
+    integrate_ball_tallied(est, center, r, samples, seed, tally)
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@
 
 use std::ops::Range;
 
+use dbs_core::obs::{Counter, Tally};
 use dbs_core::Dataset;
 use dbs_spatial::GridIndex;
 
@@ -51,12 +52,15 @@ const BLOCK: usize = 4;
 
 /// Batch form of `KernelDensityEstimator::density` over `points[range]`,
 /// writing into `out` (`out[k]` = density of point `range.start + k`).
-/// Bit-identical to the scalar path (module docs).
+/// Bit-identical to the scalar path (module docs). Work counts (tiles,
+/// candidate visits, kernel evaluations) accumulate into `tally`, which is
+/// purely observational — it never influences the computed densities.
 pub(crate) fn kde_densities_into(
     est: &KernelDensityEstimator,
     points: &Dataset,
     range: Range<usize>,
     out: &mut [f64],
+    tally: &mut Tally,
 ) {
     debug_assert_eq!(points.dim(), est.centers.dim());
     debug_assert_eq!(out.len(), range.len());
@@ -66,9 +70,11 @@ pub(crate) fn kde_densities_into(
             // Every point sees every center: the SoA copy of the centers is
             // the panel, and the whole chunk is one tile.
             let tile: Vec<u32> = range.clone().map(|i| i as u32).collect();
+            tally.add(Counter::BatchTiles, 1);
+            tally.add(Counter::KdeKernelEvals, (tile.len() * ks) as u64);
             eval_tile(est, points, &tile, &est.centers_soa, ks, out, range.start);
         }
-        Some(grid) => tiled_eval(est, grid, points, range, out),
+        Some(grid) => tiled_eval(est, grid, points, range, out, tally),
     }
 }
 
@@ -80,6 +86,7 @@ fn tiled_eval(
     points: &Dataset,
     range: Range<usize>,
     out: &mut [f64],
+    tally: &mut Tally,
 ) {
     let dim = points.dim();
     let ks = est.centers.len();
@@ -98,6 +105,13 @@ fn tiled_eval(
     let mut candidates: Vec<u32> = Vec::new();
     let mut panel: Vec<f64> = Vec::new();
     let mut mid = vec![0.0f64; dim];
+
+    // Work counts stay in locals inside the loop: writing through the
+    // `tally` reference per tile measurably perturbs the codegen of the
+    // tile loop, while register-resident accumulators are free.
+    let mut tiles = 0u64;
+    let mut visits = 0u64;
+    let mut evals = 0u64;
 
     let mut start = 0usize;
     while start < order.len() {
@@ -144,9 +158,16 @@ fn tiled_eval(
             }
         }
 
+        tiles += 1;
+        visits += m as u64;
+        evals += (tile.len() * m) as u64;
         eval_tile(est, points, &tile, &panel, m, out, range.start);
         start = end;
     }
+
+    tally.add(Counter::BatchTiles, tiles);
+    tally.add(Counter::GridCandidateVisits, visits);
+    tally.add(Counter::KdeKernelEvals, evals);
 }
 
 /// Dispatches one tile to the micro-kernel monomorphized for the

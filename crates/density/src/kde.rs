@@ -377,7 +377,21 @@ impl DensityEstimator for KernelDensityEstimator {
     /// candidate pruning + SoA panels + register-blocked micro-kernels,
     /// bit-identical to per-point [`DensityEstimator::density`] calls.
     fn densities_into(&self, points: &Dataset, range: std::ops::Range<usize>, out: &mut [f64]) {
-        crate::batch::kde_densities_into(self, points, range, out);
+        let mut scratch = dbs_core::obs::Tally::default();
+        crate::batch::kde_densities_into(self, points, range, out, &mut scratch);
+    }
+
+    /// [`DensityEstimator::densities_into`] with the batch engine's work
+    /// counts (tiles, grid candidate visits, kernel evaluations) recorded
+    /// into `tally`. Same computation, same bits.
+    fn densities_into_tallied(
+        &self,
+        points: &Dataset,
+        range: std::ops::Range<usize>,
+        out: &mut [f64],
+        tally: &mut dbs_core::obs::Tally,
+    ) {
+        crate::batch::kde_densities_into(self, points, range, out, tally);
     }
 }
 

@@ -42,5 +42,5 @@ pub use grid::GridEstimator;
 pub use hashgrid::HashGridEstimator;
 pub use kde::{KdeConfig, KernelDensityEstimator};
 pub use kernel::Kernel;
-pub use traits::{batch_densities, DensityEstimator};
+pub use traits::{batch_densities, batch_densities_obs, DensityEstimator};
 pub use wavelet::WaveletEstimator;

@@ -3,6 +3,7 @@
 use std::num::NonZeroUsize;
 use std::ops::Range;
 
+use dbs_core::obs::{Recorder, Tally};
 use dbs_core::{BoundingBox, Dataset, PointSource, Result};
 
 /// A frequency-scaled density estimator over `[0,1]^d` (or any fixed box
@@ -56,6 +57,23 @@ pub trait DensityEstimator {
         }
     }
 
+    /// [`DensityEstimator::densities_into`] with an operation [`Tally`]:
+    /// backends that count work (kernel evaluations, tiles, grid candidate
+    /// visits) accumulate into `tally`; the default ignores it and
+    /// delegates to the plain hook. Recording is strictly observational —
+    /// the written densities are bit-identical to
+    /// [`DensityEstimator::densities_into`] regardless of the tally.
+    fn densities_into_tallied(
+        &self,
+        points: &Dataset,
+        range: Range<usize>,
+        out: &mut [f64],
+        tally: &mut Tally,
+    ) {
+        let _ = tally;
+        self.densities_into(points, range, out);
+    }
+
     /// Densities of every point of `source`, in point order, evaluated with
     /// up to `threads` worker threads.
     ///
@@ -90,9 +108,30 @@ where
     E: DensityEstimator + Sync + ?Sized,
     S: PointSource + ?Sized,
 {
-    let nested = dbs_core::par::par_scan(source, threads, |range, ds| {
+    batch_densities_obs(est, source, threads, &Recorder::disabled())
+}
+
+/// [`batch_densities`] with metrics: per-chunk work counts (kernel
+/// evaluations, tiles, candidate visits — whatever the backend's
+/// [`DensityEstimator::densities_into_tallied`] records) are merged into
+/// `recorder` in chunk order. The returned densities are bit-identical to
+/// [`batch_densities`] whether the recorder is enabled or not.
+///
+/// Does not record `DatasetPasses`: the caller knows whether `source` is
+/// its primary data (count the pass) or a derived buffer (don't).
+pub fn batch_densities_obs<E, S>(
+    est: &E,
+    source: &S,
+    threads: NonZeroUsize,
+    recorder: &Recorder,
+) -> Result<Vec<f64>>
+where
+    E: DensityEstimator + Sync + ?Sized,
+    S: PointSource + ?Sized,
+{
+    let nested = dbs_core::par::par_scan_tallied(source, threads, recorder, |range, ds, tally| {
         let mut out = vec![0.0f64; range.len()];
-        est.densities_into(ds, range, &mut out);
+        est.densities_into_tallied(ds, range, &mut out, tally);
         out
     })?;
     Ok(nested.into_iter().flatten().collect())

@@ -81,7 +81,7 @@ pub fn one_pass_accuracy(scale: Scale, seed: u64) -> Result<Vec<(f64, f64, f64)>
     let est = KernelDensityEstimator::fit_dataset(&synth.data, &kde_cfg)?;
     let mut rows = Vec::new();
     for &a in &[-0.5, 0.5, 1.0] {
-        let approx_k = estimate_normalizer(&est, a, 0.01, dbs_core::par::available_parallelism());
+        let approx_k = estimate_normalizer(&est, a, 0.01, dbs_core::par::available_parallelism())?;
         let (_, stats) = density_biased_sample(
             &synth.data,
             &est,

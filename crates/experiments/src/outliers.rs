@@ -12,9 +12,10 @@
 
 use std::time::Instant;
 
+use dbs_core::obs::{Counter, Recorder};
 use dbs_core::{BoundingBox, Result};
 use dbs_density::{KdeConfig, KernelDensityEstimator};
-use dbs_outlier::{approx_outliers, nested_loop_outliers, ApproxConfig, DbOutlierParams};
+use dbs_outlier::{approx_outliers_obs, nested_loop_outliers, ApproxConfig, DbOutlierParams};
 use dbs_synth::outliers::planted_outliers;
 use dbs_synth::rect::RectConfig;
 
@@ -41,6 +42,12 @@ pub struct OutlierRow {
     /// Dataset passes used by the approximate detector (excluding the
     /// estimator pass).
     pub passes: usize,
+    /// Ball integrals the density prefilter skipped (counted work).
+    pub prefilter_skips: u64,
+    /// Monte-Carlo samples spent on the remaining ball integrals.
+    pub ball_samples: u64,
+    /// Exact distance evaluations in the verification pass.
+    pub verify_dists: u64,
     /// Approximate detector seconds (including estimator fit).
     pub approx_secs: f64,
     /// Nested-loop baseline seconds.
@@ -71,7 +78,8 @@ pub fn run(scale: Scale, seed: u64) -> Result<Vec<OutlierRow>> {
             ..Default::default()
         };
         let est = KernelDensityEstimator::fit_dataset(data, &kde_cfg)?;
-        let report = approx_outliers(
+        let rec = Recorder::enabled();
+        let report = approx_outliers_obs(
             data,
             &est,
             // Generous pruning slack: outliers that sit within a kernel
@@ -82,6 +90,7 @@ pub fn run(scale: Scale, seed: u64) -> Result<Vec<OutlierRow>> {
                 slack: 10.0,
                 ..ApproxConfig::new(params)
             },
+            &rec,
         )?;
         let approx_secs = t0.elapsed().as_secs_f64();
 
@@ -99,6 +108,9 @@ pub fn run(scale: Scale, seed: u64) -> Result<Vec<OutlierRow>> {
             true_positives,
             candidates: report.candidates,
             passes: report.passes,
+            prefilter_skips: rec.counter(Counter::PrefilterSkips),
+            ball_samples: rec.counter(Counter::BallSamples),
+            verify_dists: rec.counter(Counter::VerifyDistanceEvals),
             approx_secs,
             exact_secs,
         });
@@ -118,6 +130,9 @@ pub fn render(scale: Scale, seed: u64) -> Result<String> {
         "true-pos",
         "candidates",
         "passes",
+        "pruned",
+        "mc samples",
+        "dist evals",
         "approx s",
         "nested-loop s",
     ]);
@@ -131,12 +146,16 @@ pub fn render(scale: Scale, seed: u64) -> Result<String> {
             r.true_positives.to_string(),
             r.candidates.to_string(),
             r.passes.to_string(),
+            r.prefilter_skips.to_string(),
+            r.ball_samples.to_string(),
+            r.verify_dists.to_string(),
             f(r.approx_secs, 3),
             f(r.exact_secs, 3),
         ]);
     }
     Ok(format!(
-        "Outlier detection (§4.5): density-pruned DB(p,k) detector vs exact nested loop\n{}",
+        "Outlier detection (§4.5): density-pruned DB(p,k) detector vs exact nested loop\n\
+         (pruned/mc samples/dist evals are deterministic operation counters from dbs_core::obs)\n{}",
         t.render()
     ))
 }
@@ -158,6 +177,12 @@ mod tests {
             // Two passes, and the pruning did real work.
             assert_eq!(r.passes, 2);
             assert!(r.candidates < r.n / 4, "{r:?}");
+            // The counted-work columns partition the first pass: every
+            // point was either prefilter-skipped or ball-integrated (64
+            // Monte-Carlo samples each), and verification did real work.
+            let integrated = r.ball_samples / 64;
+            assert_eq!(r.prefilter_skips + integrated, r.n as u64, "{r:?}");
+            assert!(r.verify_dists > 0, "{r:?}");
         }
     }
 }

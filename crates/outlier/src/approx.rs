@@ -16,8 +16,9 @@
 
 use std::num::NonZeroUsize;
 
+use dbs_core::obs::{Counter, Recorder};
 use dbs_core::{par, BoundingBox, Dataset, Error, PointSource, Result};
-use dbs_density::ball::expected_neighbors;
+use dbs_density::ball::expected_neighbors_tallied;
 use dbs_density::DensityEstimator;
 use dbs_spatial::GridIndex;
 
@@ -102,14 +103,41 @@ where
     S: PointSource + ?Sized,
     E: DensityEstimator + Sync + ?Sized,
 {
+    approx_outliers_obs(source, estimator, config, &Recorder::disabled())
+}
+
+/// [`approx_outliers`] with metrics: records both dataset passes, the
+/// prefilter's skip count, the Monte-Carlo ball samples spent, the
+/// candidate count, and every exact distance computation of the
+/// verification pass into `recorder`. The report is byte-identical to the
+/// plain entry point (which is this function with a disabled recorder).
+pub fn approx_outliers_obs<S, E>(
+    source: &S,
+    estimator: &E,
+    config: &ApproxConfig,
+    recorder: &Recorder,
+) -> Result<OutlierReport>
+where
+    S: PointSource + ?Sized,
+    E: DensityEstimator + Sync + ?Sized,
+{
     if source.dim() != estimator.dim() {
         return Err(Error::DimensionMismatch {
             expected: estimator.dim(),
             got: source.dim(),
         });
     }
-    if !(config.slack >= 1.0) {
-        return Err(Error::InvalidParameter("slack must be >= 1".into()));
+    // `!(>= 1.0)` also rejects NaN; the explicit finiteness check catches
+    // slack = +inf, which would otherwise disable pruning entirely.
+    if !(config.slack >= 1.0) || !config.slack.is_finite() {
+        return Err(Error::InvalidParameter(
+            "slack must be finite and >= 1".into(),
+        ));
+    }
+    if config.ball_samples == 0 {
+        // Caught here so the misconfiguration surfaces as an error instead
+        // of `integrate_ball`'s assert panicking inside a worker thread.
+        return Err(Error::InvalidParameter("ball_samples must be >= 1".into()));
     }
     let threads = config.parallelism;
     let k = config.params.radius;
@@ -132,21 +160,24 @@ where
     // chunk.
     let ball_vol = dbs_core::metric::ball_volume(source.dim(), k);
     let skip_above = 1000.0 * threshold;
-    let kept_chunks = par::par_scan(source, threads, |range, ds| {
+    recorder.add(Counter::DatasetPasses, 1);
+    let kept_chunks = par::par_scan_tallied(source, threads, recorder, |range, ds, tally| {
         let mut dens = vec![0.0f64; range.len()];
-        estimator.densities_into(ds, range.clone(), &mut dens);
+        estimator.densities_into_tallied(ds, range.clone(), &mut dens, tally);
         let mut kept: Vec<(usize, Vec<f64>)> = Vec::new();
         for (off, i) in range.enumerate() {
             if dens[off] * ball_vol > skip_above {
+                tally.add(Counter::PrefilterSkips, 1);
                 continue;
             }
             let x = ds.point(i);
-            let expected = expected_neighbors(
+            let expected = expected_neighbors_tallied(
                 estimator,
                 x,
                 k,
                 config.ball_samples,
                 config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                tally,
             );
             if expected <= threshold {
                 kept.push((i, x.to_vec()));
@@ -156,6 +187,7 @@ where
     })?;
     let kept: Vec<(usize, Vec<f64>)> = kept_chunks.into_iter().flatten().collect();
     let candidates = kept.len();
+    recorder.add(Counter::OutlierCandidates, candidates as u64);
     let mut candidate_points = Dataset::with_capacity(source.dim(), candidates.max(1));
     let mut candidate_indices: Vec<usize> = Vec::with_capacity(candidates);
     for (i, x) in kept {
@@ -178,19 +210,23 @@ where
         let r2 = k * k;
         let candidate_points = &candidate_points;
         let candidate_indices = &candidate_indices;
-        let per_chunk = par::par_scan(source, threads, |range, ds| {
+        recorder.add(Counter::DatasetPasses, 1);
+        let per_chunk = par::par_scan_tallied(source, threads, recorder, |range, ds, tally| {
             let mut local = vec![0usize; candidates];
+            let mut dist_evals = 0u64;
             for i in range {
                 let x = ds.point(i);
                 grid.for_each_candidate_within(x, k, |ci| {
                     let ci = ci as usize;
-                    if candidate_indices[ci] != i
-                        && dbs_core::metric::euclidean_sq(x, candidate_points.point(ci)) <= r2
-                    {
-                        local[ci] += 1;
+                    if candidate_indices[ci] != i {
+                        dist_evals += 1;
+                        if dbs_core::metric::euclidean_sq(x, candidate_points.point(ci)) <= r2 {
+                            local[ci] += 1;
+                        }
                     }
                 });
             }
+            tally.add(Counter::VerifyDistanceEvals, dist_evals);
             // Sparse hand-off keeps the merge cheap when chunks touch few
             // candidates.
             local
@@ -235,28 +271,64 @@ where
     S: PointSource + ?Sized,
     E: DensityEstimator + Sync + ?Sized,
 {
+    estimate_outlier_count_obs(
+        source,
+        estimator,
+        params,
+        ball_samples,
+        seed,
+        threads,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`estimate_outlier_count`] with metrics: records the single dataset
+/// pass and the Monte-Carlo ball samples spent into `recorder`.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_outlier_count_obs<S, E>(
+    source: &S,
+    estimator: &E,
+    params: &DbOutlierParams,
+    ball_samples: usize,
+    seed: u64,
+    threads: NonZeroUsize,
+    recorder: &Recorder,
+) -> Result<usize>
+where
+    S: PointSource + ?Sized,
+    E: DensityEstimator + Sync + ?Sized,
+{
     if source.dim() != estimator.dim() {
         return Err(Error::DimensionMismatch {
             expected: estimator.dim(),
             got: source.dim(),
         });
     }
-    par::par_map_reduce(
-        source,
-        threads,
-        0usize,
-        |i, x| {
-            let expected = expected_neighbors(
+    if ball_samples == 0 {
+        // Same panic path as in `approx_outliers`: surface the
+        // misconfiguration as an error, not a worker-thread abort.
+        return Err(Error::InvalidParameter("ball_samples must be >= 1".into()));
+    }
+    let threshold = params.max_neighbors as f64 + 1.0;
+    recorder.add(Counter::DatasetPasses, 1);
+    // Per-chunk serial fold + chunk-ordered integer sum — the same
+    // reduction `par_map_reduce` performs, with a tally alongside.
+    let per_chunk = par::par_scan_tallied(source, threads, recorder, |range, ds, tally| {
+        let mut count = 0usize;
+        for i in range {
+            let expected = expected_neighbors_tallied(
                 estimator,
-                x,
+                ds.point(i),
                 params.radius,
                 ball_samples,
                 seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                tally,
             );
-            usize::from(expected <= params.max_neighbors as f64 + 1.0)
-        },
-        |a, b| a + b,
-    )
+            count += usize::from(expected <= threshold);
+        }
+        count
+    })?;
+    Ok(per_chunk.into_iter().sum())
 }
 
 /// Convenience: fit a KDE on the data and run the full pipeline, returning
@@ -434,5 +506,68 @@ mod tests {
         let mut cfg = ApproxConfig::new(params);
         cfg.slack = 0.5;
         assert!(approx_outliers(&ds, &est, &cfg).is_err());
+    }
+
+    #[test]
+    fn zero_ball_samples_is_an_error_not_a_panic() {
+        // Regression: ball_samples = 0 used to reach `integrate_ball`'s
+        // assert and abort a par worker; it must surface as
+        // InvalidParameter from both entry points.
+        let (ds, _) = planted(11);
+        let est = kde(&ds);
+        let params = DbOutlierParams::new(0.1, 3).unwrap();
+        let mut cfg = ApproxConfig::new(params);
+        cfg.ball_samples = 0;
+        match approx_outliers(&ds, &est, &cfg) {
+            Err(Error::InvalidParameter(msg)) => assert!(msg.contains("ball_samples"), "{msg}"),
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+        match estimate_outlier_count(&ds, &est, &params, 0, 6, par::serial()) {
+            Err(Error::InvalidParameter(msg)) => assert!(msg.contains("ball_samples"), "{msg}"),
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_slack_is_rejected() {
+        let (ds, _) = planted(12);
+        let est = kde(&ds);
+        let params = DbOutlierParams::new(0.1, 3).unwrap();
+        for bad in [f64::INFINITY, f64::NAN] {
+            let mut cfg = ApproxConfig::new(params);
+            cfg.slack = bad;
+            assert!(
+                matches!(
+                    approx_outliers(&ds, &est, &cfg),
+                    Err(Error::InvalidParameter(_))
+                ),
+                "slack = {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_match_report_and_never_change_it() {
+        use dbs_core::obs::{Counter, Recorder};
+        let (ds, _) = planted(13);
+        let params = DbOutlierParams::new(0.08, 2).unwrap();
+        let est = kde(&ds);
+        let cfg = ApproxConfig::new(params);
+        let plain = approx_outliers(&ds, &est, &cfg).unwrap();
+        let rec = Recorder::enabled();
+        let obs = approx_outliers_obs(&ds, &est, &cfg, &rec).unwrap();
+        assert_eq!(obs.outliers, plain.outliers);
+        assert_eq!(obs.candidates, plain.candidates);
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.counter(Counter::DatasetPasses), 2);
+        assert_eq!(
+            snap.counter(Counter::OutlierCandidates),
+            plain.candidates as u64
+        );
+        // Prefilter skips + ball integrals partition the first pass.
+        let skipped = snap.counter(Counter::PrefilterSkips);
+        let integrated = snap.counter(Counter::BallSamples) / cfg.ball_samples as u64;
+        assert_eq!(skipped + integrated, ds.len() as u64);
+        assert!(snap.counter(Counter::VerifyDistanceEvals) > 0);
     }
 }

@@ -20,11 +20,39 @@ use dbs_core::{BoundingBox, Dataset};
 
 use crate::dbout::DbOutlierParams;
 
+/// Hard cap on the total number of grid cells. The bucket vector is
+/// allocated up front, so an uncapped `res^d` is an OOM hazard well before
+/// `checked_pow` overflows (16^8 ≈ 4.3e9 cells at the old per-dimension
+/// clamp).
+const MAX_CELLS: usize = 1 << 22;
+
+/// Largest per-dimension resolution `r <= res` with `r^d <= MAX_CELLS`,
+/// or `None` when even a 2-per-dimension grid would exceed the cap (at
+/// which point a grid cannot partition anything and the caller should use
+/// an exact non-grid detector).
+fn capped_resolution(res: usize, d: usize) -> Option<usize> {
+    let d32 = u32::try_from(d).ok()?;
+    let mut r = res.min((MAX_CELLS as f64).powf(1.0 / d as f64).ceil() as usize);
+    while r >= 2 {
+        match r.checked_pow(d32) {
+            Some(total) if total <= MAX_CELLS => return Some(r),
+            _ => r -= 1,
+        }
+    }
+    None
+}
+
 /// Exact DB(p,k) outliers via the cell-based algorithm.
 ///
 /// `domain` is the box the grid covers; it is widened to the data's
 /// bounding box when points fall outside it. Cells whose ring counts cannot
 /// decide the outcome fall back to per-point verification.
+///
+/// In high dimensions the grid stops being viable: the total cell count is
+/// capped at [`MAX_CELLS`], and when even two cells per dimension would
+/// blow the cap the function falls back to the exact
+/// [`nested_loop_outliers`](crate::nested::nested_loop_outliers) detector —
+/// the result is exact either way.
 pub fn cell_based_outliers(
     data: &Dataset,
     params: &DbOutlierParams,
@@ -56,10 +84,17 @@ pub fn cell_based_outliers(
             _ => 16,
         },
     );
+    // Enforce the total-cell budget; when no usable grid fits (res < 2),
+    // fall back to the exact nested-loop detector, which returns the same
+    // sorted index list.
+    let res = match capped_resolution(res, d) {
+        Some(r) => r,
+        None => return crate::nested::nested_loop_outliers(data, params),
+    };
     let l1 = 1usize; // immediate ring
 
     // Bucket points by cell.
-    let cells_total = res.checked_pow(d as u32).expect("resolution capped above");
+    let cells_total = res.pow(d as u32); // <= MAX_CELLS by construction
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells_total];
     let cell_of = |p: &[f64]| -> usize {
         let mut cell = 0usize;
@@ -302,5 +337,75 @@ mod tests {
     fn empty_dataset() {
         let params = DbOutlierParams::new(0.1, 1).unwrap();
         assert!(cell_based_outliers(&Dataset::new(2), &params, &BoundingBox::unit(2)).is_empty());
+    }
+
+    fn high_dim_data(d: usize, n: usize, seed: u64) -> Dataset {
+        let mut rng = seeded(seed);
+        let mut ds = Dataset::with_capacity(d, n + 2);
+        for _ in 0..n {
+            // A loose blob in the middle of the cube.
+            let p: Vec<f64> = (0..d).map(|_| 0.4 + rng.gen::<f64>() * 0.2).collect();
+            ds.push(&p).unwrap();
+        }
+        // Two isolated corner points.
+        ds.push(&vec![0.02; d]).unwrap();
+        ds.push(&vec![0.98; d]).unwrap();
+        ds
+    }
+
+    #[test]
+    fn dim8_matches_nested_loop_without_blowing_memory() {
+        // Regression: at d = 8 the old per-dimension clamp (16) allowed
+        // 16^8 ≈ 4.3e9 buckets — an OOM before any work happened. The cell
+        // budget now caps the grid; results must still be exact.
+        let d = 8;
+        let ds = high_dim_data(d, 400, 4);
+        let params = DbOutlierParams::new(0.4, 3).unwrap();
+        let want = nested_loop_outliers(&ds, &params);
+        let got = cell_based_outliers(&ds, &params, &BoundingBox::unit(d));
+        assert_eq!(got, want);
+        assert!(got.contains(&400) && got.contains(&401), "corners found");
+    }
+
+    #[test]
+    fn dim16_falls_back_or_stays_exact_instead_of_panicking() {
+        // Regression: at d = 16 the old code hit `checked_pow` overflow and
+        // panicked on the expect. Now either a tiny capped grid or the
+        // nested-loop fallback runs — both exact.
+        let d = 16;
+        let ds = high_dim_data(d, 200, 5);
+        let params = DbOutlierParams::new(0.8, 3).unwrap();
+        let want = nested_loop_outliers(&ds, &params);
+        let got = cell_based_outliers(&ds, &params, &BoundingBox::unit(d));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dim32_uses_nested_fallback() {
+        // 2^32 cells already exceeds the budget: no grid fits at all.
+        assert_eq!(super::capped_resolution(16, 32), None);
+        let d = 32;
+        let ds = high_dim_data(d, 60, 6);
+        let params = DbOutlierParams::new(1.0, 2).unwrap();
+        let want = nested_loop_outliers(&ds, &params);
+        let got = cell_based_outliers(&ds, &params, &BoundingBox::unit(d));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn capped_resolution_respects_budget() {
+        // d = 8: largest r with r^8 <= 2^22 is 6 (6^8 = 1679616).
+        assert_eq!(super::capped_resolution(16, 8), Some(6));
+        // Low dimensions pass through unchanged.
+        assert_eq!(super::capped_resolution(2048, 2), Some(2048));
+        assert_eq!(super::capped_resolution(128, 3), Some(128));
+        // d = 16: 2^16 = 65536 cells fits, 3^16 doesn't.
+        assert_eq!(super::capped_resolution(16, 16), Some(2));
+        for (res, d) in [(16usize, 8usize), (16, 16), (2048, 2)] {
+            if let Some(r) = super::capped_resolution(res, d) {
+                assert!(r.pow(d as u32) <= super::MAX_CELLS);
+                assert!(r <= res);
+            }
+        }
     }
 }

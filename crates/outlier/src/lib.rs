@@ -29,7 +29,10 @@ pub mod dbout;
 pub mod metric_general;
 pub mod nested;
 
-pub use approx::{approx_outliers, estimate_outlier_count, ApproxConfig, OutlierReport};
+pub use approx::{
+    approx_outliers, approx_outliers_obs, estimate_outlier_count, estimate_outlier_count_obs,
+    ApproxConfig, OutlierReport,
+};
 pub use cellgrid::cell_based_outliers;
 pub use dbout::DbOutlierParams;
 pub use metric_general::{approx_outliers_metric, nested_loop_outliers_metric};

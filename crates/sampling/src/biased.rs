@@ -28,6 +28,7 @@
 
 use std::num::NonZeroUsize;
 
+use dbs_core::obs::{Counter, Recorder};
 use dbs_core::rng::keyed_unit;
 use dbs_core::{par, Dataset, Error, PointSource, Result, WeightedSample};
 use dbs_density::DensityEstimator;
@@ -136,6 +137,25 @@ where
     S: PointSource + ?Sized,
     E: DensityEstimator + Sync + ?Sized,
 {
+    density_biased_sample_obs(source, estimator, config, &Recorder::disabled())
+}
+
+/// [`density_biased_sample`] with metrics: records the two dataset passes,
+/// the estimator's per-chunk work counts, and the clip count into
+/// `recorder`. The sample and stats are byte-identical to the plain entry
+/// point whether the recorder is enabled or not (recording is strictly
+/// observational — this *is* the implementation the plain entry point runs
+/// with a disabled recorder).
+pub fn density_biased_sample_obs<S, E>(
+    source: &S,
+    estimator: &E,
+    config: &BiasedConfig,
+    recorder: &Recorder,
+) -> Result<(WeightedSample, BiasedSampleStats)>
+where
+    S: PointSource + ?Sized,
+    E: DensityEstimator + Sync + ?Sized,
+{
     let n = source.len();
     if n == 0 {
         return Err(Error::InvalidParameter(
@@ -166,7 +186,8 @@ where
     // through the `densities_into` hook), which is bit-identical to
     // per-point evaluation; the serial left fold over the point-ordered
     // vector is bit-identical to accumulating during a sequential scan.
-    let fpv: Vec<f64> = dbs_density::batch_densities(estimator, source, threads)?
+    recorder.add(Counter::DatasetPasses, 1);
+    let fpv: Vec<f64> = dbs_density::batch_densities_obs(estimator, source, threads, recorder)?
         .into_iter()
         .map(|f| f.max(floor).powf(a))
         .collect();
@@ -183,6 +204,8 @@ where
     // order.
     let b = config.target_size as f64;
     let clipped = fpv.iter().filter(|&&f| b * f / k >= 1.0).count();
+    recorder.add(Counter::SamplerClipEvents, clipped as u64);
+    recorder.add(Counter::DatasetPasses, 1);
     let picks = par::par_filter_map(source, threads, |i, x| {
         let p = (b * fpv[i] / k).min(1.0);
         (keyed_unit(config.seed, i as u64) < p).then(|| (i, x.to_vec(), 1.0 / p))

@@ -14,6 +14,7 @@
 
 use std::num::NonZeroUsize;
 
+use dbs_core::obs::{Counter, Recorder};
 use dbs_core::rng::keyed_unit;
 use dbs_core::{par, Dataset, Error, PointSource, Result, WeightedSample};
 use dbs_density::{DensityEstimator, KernelDensityEstimator};
@@ -31,16 +32,28 @@ pub fn estimate_normalizer(
     a: f64,
     floor_rel: f64,
     threads: NonZeroUsize,
-) -> f64 {
+) -> Result<f64> {
+    estimate_normalizer_obs(est, a, floor_rel, threads, &Recorder::disabled())
+}
+
+/// [`estimate_normalizer`] with the center evaluation's work counts merged
+/// into `recorder`. The center scan is over derived in-memory data, not
+/// the caller's primary source, so no `DatasetPasses` is recorded — that
+/// is the whole point of the one-pass variant.
+pub fn estimate_normalizer_obs(
+    est: &KernelDensityEstimator,
+    a: f64,
+    floor_rel: f64,
+    threads: NonZeroUsize,
+    recorder: &Recorder,
+) -> Result<f64> {
     let centers = est.centers();
     let ks = centers.len() as f64;
     let n = est.dataset_size();
     let floor = floor_rel * est.average_density();
-    let densities = est
-        .densities(centers, threads)
-        .expect("in-memory center scan cannot fail");
+    let densities = dbs_density::batch_densities_obs(est, centers, threads, recorder)?;
     let sum: f64 = densities.iter().map(|&f| f.max(floor).powf(a)).sum();
-    n / ks * sum
+    Ok(n / ks * sum)
 }
 
 /// One-pass density-biased sampling with an approximated normalizer.
@@ -53,6 +66,23 @@ pub fn one_pass_biased_sample<S>(
     source: &S,
     estimator: &KernelDensityEstimator,
     config: &BiasedConfig,
+) -> Result<(WeightedSample, BiasedSampleStats)>
+where
+    S: PointSource + ?Sized,
+{
+    one_pass_biased_sample_obs(source, estimator, config, &Recorder::disabled())
+}
+
+/// [`one_pass_biased_sample`] with metrics: records the single dataset
+/// pass, the batch engine's per-chunk work counts (for both the center
+/// evaluation and the data pass), and clip events into `recorder`. Output
+/// is byte-identical to the plain entry point (which is this function with
+/// a disabled recorder).
+pub fn one_pass_biased_sample_obs<S>(
+    source: &S,
+    estimator: &KernelDensityEstimator,
+    config: &BiasedConfig,
+    recorder: &Recorder,
 ) -> Result<(WeightedSample, BiasedSampleStats)>
 where
     S: PointSource + ?Sized,
@@ -82,7 +112,7 @@ where
     let threads = config.parallelism;
     let floor_rel = config.density_floor;
     let floor = floor_rel * estimator.average_density();
-    let k = estimate_normalizer(estimator, a, floor_rel, threads);
+    let k = estimate_normalizer_obs(estimator, a, floor_rel, threads, recorder)?;
     if !(k.is_finite() && k > 0.0) {
         return Err(Error::InvalidParameter(format!(
             "approximated normalizer k = {k} is not positive/finite"
@@ -96,9 +126,10 @@ where
     // the merged result is the same for every parallelism level. Inclusion
     // draws are keyed on (seed, index) as in the two-pass sampler.
     let b = config.target_size as f64;
-    let per_chunk = par::par_scan(source, threads, |range, ds| {
+    recorder.add(Counter::DatasetPasses, 1);
+    let per_chunk = par::par_scan_tallied(source, threads, recorder, |range, ds, tally| {
         let mut dens = vec![0.0f64; range.len()];
-        estimator.densities_into(ds, range.clone(), &mut dens);
+        estimator.densities_into_tallied(ds, range.clone(), &mut dens, tally);
         let mut picks: Vec<(usize, Vec<f64>, f64)> = Vec::new();
         let mut clipped = 0usize;
         for (off, i) in range.enumerate() {
@@ -113,6 +144,7 @@ where
                 picks.push((i, ds.point(i).to_vec(), 1.0 / p));
             }
         }
+        tally.add(Counter::SamplerClipEvents, clipped as u64);
         (picks, clipped)
     })?;
 
@@ -189,7 +221,7 @@ mod tests {
         let est = kde(&ds);
         let floor = 0.01 * est.average_density();
         for a in [-0.5, 0.5, 1.0] {
-            let approx = estimate_normalizer(&est, a, 0.01, par::available_parallelism());
+            let approx = estimate_normalizer(&est, a, 0.01, par::available_parallelism()).unwrap();
             let mut exact = 0.0;
             for p in ds.iter() {
                 exact += est.density(p).max(floor).powf(a);

@@ -6,6 +6,7 @@
 //! (O(b log(n/b)) random numbers), which visits the same distribution much
 //! faster on large streams.
 
+use dbs_core::obs::{Counter, Recorder, Tally};
 use dbs_core::rng::seeded;
 use dbs_core::{Dataset, Error, PointSource, Result, WeightedSample};
 use rand::Rng;
@@ -16,6 +17,19 @@ pub fn reservoir_sample<S: PointSource + ?Sized>(
     source: &S,
     b: usize,
     seed: u64,
+) -> Result<WeightedSample> {
+    reservoir_sample_obs(source, b, seed, &Recorder::disabled())
+}
+
+/// [`reservoir_sample`] with metrics: records the single dataset pass and
+/// every post-fill slot replacement into `recorder`. Output is identical
+/// whether the recorder is enabled or not (the plain entry point is this
+/// function with a disabled recorder).
+pub fn reservoir_sample_obs<S: PointSource + ?Sized>(
+    source: &S,
+    b: usize,
+    seed: u64,
+    recorder: &Recorder,
 ) -> Result<WeightedSample> {
     if b == 0 {
         return Err(Error::InvalidParameter("sample size must be >= 1".into()));
@@ -29,6 +43,8 @@ pub fn reservoir_sample<S: PointSource + ?Sized>(
     let dim = source.dim();
     let mut points = Dataset::with_capacity(dim, b);
     let mut indices: Vec<usize> = Vec::with_capacity(b);
+    let mut tally = Tally::default();
+    recorder.add(Counter::DatasetPasses, 1);
     source.scan(&mut |i, x| {
         if i < b {
             points.push(x).expect("declared dimension");
@@ -38,9 +54,11 @@ pub fn reservoir_sample<S: PointSource + ?Sized>(
             if slot < b {
                 points.point_mut(slot).copy_from_slice(x);
                 indices[slot] = i;
+                tally.add(Counter::ReservoirReplacements, 1);
             }
         }
     })?;
+    recorder.merge(&tally);
     let n = source.len();
     WeightedSample::uniform(points, indices, n)
 }
@@ -51,6 +69,16 @@ pub fn reservoir_sample_skip<S: PointSource + ?Sized>(
     source: &S,
     b: usize,
     seed: u64,
+) -> Result<WeightedSample> {
+    reservoir_sample_skip_obs(source, b, seed, &Recorder::disabled())
+}
+
+/// [`reservoir_sample_skip`] with metrics, see [`reservoir_sample_obs`].
+pub fn reservoir_sample_skip_obs<S: PointSource + ?Sized>(
+    source: &S,
+    b: usize,
+    seed: u64,
+    recorder: &Recorder,
 ) -> Result<WeightedSample> {
     if b == 0 {
         return Err(Error::InvalidParameter("sample size must be >= 1".into()));
@@ -68,6 +96,8 @@ pub fn reservoir_sample_skip<S: PointSource + ?Sized>(
     let mut w: f64 = (rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / b as f64).exp();
     let mut next: usize = b; // index of the next point that enters
     let mut pending_skip = false;
+    let mut tally = Tally::default();
+    recorder.add(Counter::DatasetPasses, 1);
     source.scan(&mut |i, x| {
         if i < b {
             points.push(x).expect("declared dimension");
@@ -84,11 +114,13 @@ pub fn reservoir_sample_skip<S: PointSource + ?Sized>(
             let slot = rng.gen_range(0..b);
             points.point_mut(slot).copy_from_slice(x);
             indices[slot] = i;
+            tally.add(Counter::ReservoirReplacements, 1);
             w *= (rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / b as f64).exp();
             let g = (rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() / (1.0 - w).ln()).floor();
             next = i + 1 + g as usize;
         }
     })?;
+    recorder.merge(&tally);
     let n = source.len();
     WeightedSample::uniform(points, indices, n)
 }

@@ -31,3 +31,8 @@ bench-cure:
 # Regenerate the CI-sized versions of every paper figure/table.
 experiments:
     cargo run --release -p dbs-experiments -- all
+
+# Run the instrumented pipeline and emit a sample metrics JSON
+# (deterministic counters + machine-dependent stage timings).
+metrics:
+    cargo run --release -p dbs-experiments -- metrics --metrics-out metrics_sample.json
