@@ -51,7 +51,7 @@ commands:
   sample    draw a density-biased sample
               --size N        target sample size (default 1000)
               --exponent A    bias exponent a (default 1.0; 0 = uniform)
-              --kernels K     kernel centers (default 1000)
+              --kernels K     kernel centers (default 1000, kde only)
               --output FILE   write sampled points (text format)
               --weights FILE  also write the 1/p importance weights
   cluster   sample then run hierarchical clustering
@@ -61,12 +61,16 @@ commands:
   outliers  detect DB(p,k) outliers
               --radius K      neighborhood radius (normalized units)
               --neighbors P   max neighbors for an outlier (default 3)
-              --kernels K     kernel centers (default 1000)
+              --kernels K     kernel centers (default 1000, kde only)
               --slack S       pruning slack (default 3)
   density   evaluate the density estimate
               --at X,Y,...    query point (original coordinates)
-              --kernels K     kernel centers (default 1000)
+              --kernels K     kernel centers (default 1000, kde only)
 common options:
+  --estimator SPEC    density backend: kde[:centers], grid[:res],
+                      hashgrid[:res[:slots]], wavelet[:levels[:coeffs]], or
+                      agrid[:grids[:res]] (default kde; bare kde honors
+                      --kernels)
   --seed N            RNG seed (default 0)
   --threads N         worker threads (default: all available cores; results
                       are identical for every value)

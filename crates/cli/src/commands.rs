@@ -11,7 +11,7 @@ use dbs_cluster::{hierarchical_cluster_obs, HierarchicalConfig, NOISE};
 use dbs_core::io::{read_binary, read_text, write_text};
 use dbs_core::obs::Recorder;
 use dbs_core::{BoundingBox, Dataset, MinMaxScaler};
-use dbs_density::{DensityEstimator, KdeConfig, KernelDensityEstimator};
+use dbs_density::{DensityEstimator, EstimatorSpec};
 use dbs_outlier::{approx_outliers_obs, ApproxConfig, DbOutlierParams};
 use dbs_sampling::{density_biased_sample_obs, BiasedConfig};
 
@@ -70,15 +70,26 @@ fn normalize(data: &Dataset) -> Result<(Dataset, MinMaxScaler), String> {
     MinMaxScaler::fit_transform(data).map_err(|e| e.to_string())
 }
 
-fn fit_kde(scaled: &Dataset, args: &ParsedArgs) -> Result<KernelDensityEstimator, String> {
-    let kernels = args.get_usize("kernels", 1000)?;
-    let cfg = KdeConfig {
-        num_centers: kernels,
-        domain: Some(BoundingBox::unit(scaled.dim())),
-        seed: args.get_u64("seed", 0)?,
-        ..Default::default()
+/// Builds the density backend selected by `--estimator` (default `kde`).
+///
+/// A bare `kde` keeps honoring `--kernels`; parameterized specs
+/// (`kde:500`, `grid:64`, `hashgrid`, `wavelet:5`, `agrid:8`, …) carry
+/// their own knobs. Every subcommand shares this factory, so backends are
+/// interchangeable across sample/cluster/outliers/density.
+fn fit_estimator(
+    scaled: &Dataset,
+    args: &ParsedArgs,
+) -> Result<Box<dyn DensityEstimator + Sync>, String> {
+    let raw = args.get_str("estimator").unwrap_or("kde");
+    let spec = if raw == "kde" {
+        EstimatorSpec::kde(args.get_usize("kernels", 1000)?)
+    } else {
+        EstimatorSpec::parse(raw).map_err(|e| e.to_string())?
     };
-    KernelDensityEstimator::fit_dataset(scaled, &cfg).map_err(|e| e.to_string())
+    spec.with_seed(args.get_u64("seed", 0)?)
+        .with_domain(BoundingBox::unit(scaled.dim()))
+        .fit(scaled)
+        .map_err(|e| e.to_string())
 }
 
 fn info(data: &Dataset, out: &mut dyn Write) -> Result<(), String> {
@@ -100,7 +111,7 @@ fn sample(
     let (scaled, scaler) = normalize(data)?;
     let est = {
         let _span = rec.span("fit_density");
-        fit_kde(&scaled, args)?
+        fit_estimator(&scaled, args)?
     };
     let b = args.get_usize("size", 1000)?;
     let a = args.get_f64("exponent", 1.0)?;
@@ -109,7 +120,7 @@ fn sample(
         .with_parallelism(args.get_threads()?);
     let (s, stats) = {
         let _span = rec.span("sample");
-        density_biased_sample_obs(&scaled, &est, &cfg, rec).map_err(|e| e.to_string())?
+        density_biased_sample_obs(&scaled, &*est, &cfg, rec).map_err(|e| e.to_string())?
     };
     writeln!(
         out,
@@ -162,7 +173,7 @@ fn cluster(
     let (scaled, scaler) = normalize(data)?;
     let est = {
         let _span = rec.span("fit_density");
-        fit_kde(&scaled, args)?
+        fit_estimator(&scaled, args)?
     };
     let b = args.get_usize("size", 1000)?;
     let a = args.get_f64("exponent", 1.0)?;
@@ -173,7 +184,7 @@ fn cluster(
         .with_parallelism(threads);
     let (s, _) = {
         let _span = rec.span("sample");
-        density_biased_sample_obs(&scaled, &est, &cfg, rec).map_err(|e| e.to_string())?
+        density_biased_sample_obs(&scaled, &*est, &cfg, rec).map_err(|e| e.to_string())?
     };
     let mut hc = HierarchicalConfig::paper_defaults(k).with_parallelism(threads);
     if args.get_flag("no-trim") {
@@ -225,7 +236,7 @@ fn outliers(
     let (scaled, scaler) = normalize(data)?;
     let est = {
         let _span = rec.span("fit_density");
-        fit_kde(&scaled, args)?
+        fit_estimator(&scaled, args)?
     };
     let radius = args.get_f64("radius", 0.05)?;
     let p = args.get_usize("neighbors", 3)?;
@@ -236,7 +247,7 @@ fn outliers(
     cfg.parallelism = args.get_threads()?;
     let report = {
         let _span = rec.span("outliers");
-        approx_outliers_obs(&scaled, &est, &cfg, rec).map_err(|e| e.to_string())?
+        approx_outliers_obs(&scaled, &*est, &cfg, rec).map_err(|e| e.to_string())?
     };
     writeln!(
         out,
@@ -263,7 +274,7 @@ fn density(
     let (scaled, scaler) = normalize(data)?;
     let est = {
         let _span = rec.span("fit_density");
-        fit_kde(&scaled, args)?
+        fit_estimator(&scaled, args)?
     };
     // Single-point evaluation has no batch to spread across workers, but
     // the option is still validated so `--threads 0` fails uniformly.
@@ -477,6 +488,34 @@ mod tests {
         assert!(json.contains("\"name\": \"outliers\""), "{json}");
         std::fs::remove_file(&file).ok();
         std::fs::remove_file(&metrics_file).ok();
+    }
+
+    #[test]
+    fn sample_accepts_alternate_estimators() {
+        let file = write_sample_file("estimators");
+        for spec in [
+            "kde:200",
+            "grid:16",
+            "hashgrid:16",
+            "wavelet:4:64",
+            "agrid:4",
+        ] {
+            let output = run_cli(&["sample", &file, "--size", "100", "--estimator", spec]);
+            assert!(output.contains("sampled"), "{spec}: {output}");
+        }
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn unknown_estimator_is_a_clean_error() {
+        let file = write_sample_file("badest");
+        let argv = ["sample", &file, "--estimator", "ballpark"];
+        let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let parsed = parse(&args).unwrap();
+        let mut out = Vec::new();
+        let err = run(&parsed, &mut out).unwrap_err();
+        assert!(err.contains("estimator spec"), "{err}");
+        std::fs::remove_file(&file).ok();
     }
 
     #[test]

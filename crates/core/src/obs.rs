@@ -67,10 +67,16 @@ pub enum Counter {
     OutlierCandidates,
     /// Exact distance computations in the outlier verification pass.
     VerifyDistanceEvals,
+    /// Distinct grid cells read by the averaged-grid batch engine (one run
+    /// of equal cell ids in a sorted chunk counts once).
+    AgridCellTouches,
+    /// Shifted grids averaged by averaged-grid batch evaluations (one per
+    /// (chunk, grid) pair).
+    AgridGridsAveraged,
 }
 
 /// Number of counters in the catalog.
-pub const COUNTER_COUNT: usize = 14;
+pub const COUNTER_COUNT: usize = 16;
 
 impl Counter {
     /// Every counter, in catalog (discriminant) order.
@@ -89,6 +95,8 @@ impl Counter {
         Counter::PrefilterSkips,
         Counter::OutlierCandidates,
         Counter::VerifyDistanceEvals,
+        Counter::AgridCellTouches,
+        Counter::AgridGridsAveraged,
     ];
 
     /// The counter's stable snake_case name (the JSON key).
@@ -108,6 +116,8 @@ impl Counter {
             Counter::PrefilterSkips => "prefilter_skips",
             Counter::OutlierCandidates => "outlier_candidates",
             Counter::VerifyDistanceEvals => "verify_distance_evals",
+            Counter::AgridCellTouches => "agrid_cell_touches",
+            Counter::AgridGridsAveraged => "agrid_grids_averaged",
         }
     }
 }

@@ -26,7 +26,8 @@ impl GridEstimator {
     ///
     /// `res` is the number of cells per dimension. Points outside `domain`
     /// are clamped into boundary cells so all mass is preserved. Errors on
-    /// an empty source or `res == 0`, and panics if `res^d` exceeds `2^26`.
+    /// an empty source, `res == 0`, non-finite coordinates, or a grid
+    /// whose `res^d` exceeds `2^26`.
     pub fn fit<S: PointSource + ?Sized>(
         source: &S,
         domain: BoundingBox,
@@ -56,7 +57,17 @@ impl GridEstimator {
         let mut counts = vec![0.0f64; total];
         let dmin: Vec<f64> = domain.min().to_vec();
         let extents: Vec<f64> = (0..dim).map(|j| domain.extent(j)).collect();
-        source.scan(&mut |_, p| {
+        // Validation rides the single fit pass: the first non-finite
+        // coordinate is remembered and reported after the scan.
+        let mut non_finite: Option<usize> = None;
+        source.scan(&mut |i, p| {
+            if non_finite.is_some() {
+                return;
+            }
+            if !p.iter().all(|v| v.is_finite()) {
+                non_finite = Some(i);
+                return;
+            }
             let mut cell = 0usize;
             for j in 0..dim {
                 let rel = if extents[j] > 0.0 {
@@ -69,6 +80,11 @@ impl GridEstimator {
             }
             counts[cell] += 1.0;
         })?;
+        if let Some(i) = non_finite {
+            return Err(Error::InvalidParameter(format!(
+                "non-finite coordinate at point {i}"
+            )));
+        }
         let cell_volume = (0..dim)
             .map(|j| {
                 let w = extents[j] / res as f64;
@@ -198,6 +214,19 @@ impl DensityEstimator for GridEstimator {
     fn average_density(&self) -> f64 {
         self.n / self.domain.volume().max(f64::MIN_POSITIVE)
     }
+
+    /// Exact (for data inside the domain): every point of a cell sees the
+    /// density `count / cell_volume`, so the §2.2 sum is available from
+    /// the cell counts alone.
+    fn summary_normalizer(&self, a: f64, floor: f64) -> Option<f64> {
+        Some(
+            self.counts
+                .iter()
+                .filter(|&&c| c > 0.0)
+                .map(|&c| c * (c / self.cell_volume).max(floor).powf(a))
+                .sum(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +302,10 @@ mod tests {
         assert!(GridEstimator::fit(&ds, BoundingBox::unit(2), 0).is_err());
         assert!(GridEstimator::fit(&Dataset::new(2), BoundingBox::unit(2), 4).is_err());
         assert!(GridEstimator::fit(&ds, BoundingBox::unit(3), 4).is_err());
+        let mut bad = uniform_dataset(5, 2, 6);
+        bad.push(&[0.5, f64::INFINITY]).unwrap();
+        let err = GridEstimator::fit(&bad, BoundingBox::unit(2), 4).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
     }
 
     #[test]

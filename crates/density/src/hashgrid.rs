@@ -70,7 +70,17 @@ impl HashGridEstimator {
         let mut collisions = 0usize;
         let dmin: Vec<f64> = domain.min().to_vec();
         let extents: Vec<f64> = (0..dim).map(|j| domain.extent(j)).collect();
-        source.scan(&mut |_, p| {
+        // Validation rides the single fit pass: the first non-finite
+        // coordinate is remembered and reported after the scan.
+        let mut non_finite: Option<usize> = None;
+        source.scan(&mut |i, p| {
+            if non_finite.is_some() {
+                return;
+            }
+            if !p.iter().all(|v| v.is_finite()) {
+                non_finite = Some(i);
+                return;
+            }
             let mut cell: u64 = 0;
             for j in 0..dim {
                 let rel = if extents[j] > 0.0 {
@@ -89,6 +99,11 @@ impl HashGridEstimator {
             }
             table[slot] += 1.0;
         })?;
+        if let Some(i) = non_finite {
+            return Err(Error::InvalidParameter(format!(
+                "non-finite coordinate at point {i}"
+            )));
+        }
         let cell_volume = (0..dim)
             .map(|j| {
                 let w = extents[j] / res as f64;
@@ -165,6 +180,19 @@ impl DensityEstimator for HashGridEstimator {
     fn average_density(&self) -> f64 {
         self.n / self.domain.volume().max(f64::MIN_POSITIVE)
     }
+
+    /// Exact (for data inside the domain), collisions included: every
+    /// point hashed into a slot sees the slot's merged count, so the §2.2
+    /// sum follows from the table alone.
+    fn summary_normalizer(&self, a: f64, floor: f64) -> Option<f64> {
+        Some(
+            self.table
+                .iter()
+                .filter(|&&c| c > 0.0)
+                .map(|&c| c * (c / self.cell_volume).max(floor).powf(a))
+                .sum(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +268,10 @@ mod tests {
         assert!(HashGridEstimator::fit(&ds, BoundingBox::unit(2), 0, 16).is_err());
         assert!(HashGridEstimator::fit(&ds, BoundingBox::unit(2), 4, 0).is_err());
         assert!(HashGridEstimator::fit(&Dataset::new(2), BoundingBox::unit(2), 4, 16).is_err());
+        let mut bad = uniform_dataset(5, 2, 9);
+        bad.push(&[f64::NAN, 0.5]).unwrap();
+        let err = HashGridEstimator::fit(&bad, BoundingBox::unit(2), 4, 16).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
     }
 
     #[test]

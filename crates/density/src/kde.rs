@@ -309,6 +309,12 @@ impl DensityEstimator for KernelDensityEstimator {
         self.centers.dim()
     }
 
+    /// The kernel centers: a reservoir (uniform) sample of the fitted
+    /// dataset, which is what the §2.2 one-pass normalizer estimate needs.
+    fn uniform_probe(&self) -> Option<&Dataset> {
+        Some(&self.centers)
+    }
+
     fn dataset_size(&self) -> f64 {
         self.n
     }

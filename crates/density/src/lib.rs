@@ -20,6 +20,16 @@
 //!   in high dimensions.
 //! * [`WaveletEstimator`] — a Haar-wavelet-compressed histogram, the
 //!   transform-based alternative the paper cites (\[30\]\[19\]).
+//! * [`AveragedGridEstimator`] — the Wells–Ting averaged-grid ensemble:
+//!   `m` randomly shifted uniform grids averaged at query time. O(1)
+//!   queries independent of both `n` and the kernel-center count, making
+//!   it the sub-linear backend for high-dimensional runs.
+//!
+//! Callers pick a backend through [`EstimatorSpec`] — a parse-from-string
+//! configuration (`kde:1000`, `grid:32`, `hashgrid`, `wavelet:5`,
+//! `agrid:8`, …) whose [`EstimatorSpec::fit`] returns a boxed
+//! [`DensityEstimator`], so the CLI and experiment harness never hardwire
+//! a concrete estimator type.
 //!
 //! [`ball::integrate_ball`] estimates `∫_{Ball(O,r)} f`, the quantity the
 //! approximate outlier detector of §3.2 uses to prune non-outliers.
@@ -27,6 +37,7 @@
 // Numeric-kernel loops in this crate index several parallel slices at once,
 // and NaN-rejecting guards are written as negated comparisons on purpose.
 #![allow(clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
+pub mod agrid;
 pub mod ball;
 pub mod bandwidth;
 pub mod batch;
@@ -34,13 +45,16 @@ pub mod grid;
 pub mod hashgrid;
 pub mod kde;
 pub mod kernel;
+pub mod spec;
 pub mod traits;
 pub mod wavelet;
 
+pub use agrid::{AgridConfig, AveragedGridEstimator};
 pub use bandwidth::Bandwidth;
 pub use grid::GridEstimator;
 pub use hashgrid::HashGridEstimator;
 pub use kde::{KdeConfig, KernelDensityEstimator};
 pub use kernel::Kernel;
+pub use spec::{EstimatorKind, EstimatorSpec};
 pub use traits::{batch_densities, batch_densities_obs, DensityEstimator};
 pub use wavelet::WaveletEstimator;

@@ -74,6 +74,26 @@ pub trait DensityEstimator {
         self.densities_into(points, range, out);
     }
 
+    /// A stored point set that is a *uniform sample* of the fitted dataset,
+    /// usable for Monte-Carlo sums over `D` without a dataset pass — the
+    /// KDE returns its reservoir-sampled kernel centers (§2.2 uses exactly
+    /// this to approximate the one-pass normalizer). `None` when the
+    /// summary retains no such sample.
+    fn uniform_probe(&self) -> Option<&Dataset> {
+        None
+    }
+
+    /// The one-pass sampler's normalizer `Σ_{x∈D} max(f(x), floor)^a`
+    /// computed from the fitted summary alone (no dataset pass), when the
+    /// backend supports it. Exact for histogram backends, where every
+    /// point of a cell shares one density value; approximate for
+    /// compressed or ensemble summaries. `None` when the summary cannot
+    /// provide it (the KDE — its route is [`Self::uniform_probe`]).
+    fn summary_normalizer(&self, a: f64, floor: f64) -> Option<f64> {
+        let _ = (a, floor);
+        None
+    }
+
     /// Densities of every point of `source`, in point order, evaluated with
     /// up to `threads` worker threads.
     ///

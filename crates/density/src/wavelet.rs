@@ -63,11 +63,19 @@ impl WaveletEstimator {
             .filter(|&t| t <= 1 << 24)
             .ok_or_else(|| Error::InvalidParameter("grid too large; lower levels".into()))?;
 
-        // Histogram pass.
+        // Histogram pass; validation rides along so the fit stays one-pass.
         let mut cells = vec![0.0f64; total];
         let dmin: Vec<f64> = domain.min().to_vec();
         let extents: Vec<f64> = (0..dim).map(|j| domain.extent(j)).collect();
-        source.scan(&mut |_, p| {
+        let mut non_finite: Option<usize> = None;
+        source.scan(&mut |i, p| {
+            if non_finite.is_some() {
+                return;
+            }
+            if !p.iter().all(|v| v.is_finite()) {
+                non_finite = Some(i);
+                return;
+            }
             let mut cell = 0usize;
             for j in 0..dim {
                 let rel = if extents[j] > 0.0 {
@@ -80,6 +88,11 @@ impl WaveletEstimator {
             }
             cells[cell] += 1.0;
         })?;
+        if let Some(i) = non_finite {
+            return Err(Error::InvalidParameter(format!(
+                "non-finite coordinate at point {i}"
+            )));
+        }
 
         // Forward Haar along each axis (standard decomposition).
         for axis in 0..dim {
@@ -239,6 +252,20 @@ impl DensityEstimator for WaveletEstimator {
     fn average_density(&self) -> f64 {
         self.n / self.domain.volume().max(f64::MIN_POSITIVE)
     }
+
+    /// Approximate: the reconstructed (clamped) cell counts stand in for
+    /// the true per-cell point counts, which the compressed summary no
+    /// longer has.
+    fn summary_normalizer(&self, a: f64, floor: f64) -> Option<f64> {
+        Some(
+            self.cells
+                .iter()
+                .map(|&c| c.max(0.0))
+                .filter(|&c| c > 0.0)
+                .map(|c| c * (c / self.cell_volume).max(floor).powf(a))
+                .sum(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -351,6 +378,10 @@ mod tests {
         assert!(WaveletEstimator::fit(&ds, BoundingBox::unit(2), 4, 0).is_err());
         assert!(WaveletEstimator::fit(&Dataset::new(2), BoundingBox::unit(2), 4, 8).is_err());
         assert!(WaveletEstimator::fit(&ds, BoundingBox::unit(3), 4, 8).is_err());
+        let mut bad = two_blobs(5, 11);
+        bad.push(&[0.5, f64::NEG_INFINITY]).unwrap();
+        let err = WaveletEstimator::fit(&bad, BoundingBox::unit(2), 4, 8).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use dbs_cluster::{hierarchical_cluster_obs, HierarchicalConfig};
 use dbs_core::obs::{MetricsReport, Recorder};
 use dbs_core::{BoundingBox, Result};
-use dbs_density::{KdeConfig, KernelDensityEstimator};
+use dbs_density::EstimatorSpec;
 use dbs_outlier::{approx_outliers_obs, ApproxConfig, DbOutlierParams};
 use dbs_sampling::{density_biased_sample_obs, BiasedConfig};
 use dbs_synth::noise::with_noise_fraction;
@@ -34,19 +34,16 @@ pub fn collect(scale: Scale, seed: u64) -> Result<MetricsReport> {
 
     let est = {
         let _span = rec.span("fit_density");
-        let kde_cfg = KdeConfig {
-            num_centers: scale.kernels(),
-            domain: Some(BoundingBox::unit(2)),
-            seed,
-            ..Default::default()
-        };
-        KernelDensityEstimator::fit_dataset(data, &kde_cfg)?
+        EstimatorSpec::kde(scale.kernels())
+            .with_seed(seed)
+            .with_domain(BoundingBox::unit(2))
+            .fit(data)?
     };
 
     let sample = {
         let _span = rec.span("sample");
         let cfg = BiasedConfig::new(data.len() / 50, 1.0).with_seed(seed ^ 0x5a);
-        density_biased_sample_obs(data, &est, &cfg, &rec)?.0
+        density_biased_sample_obs(data, &*est, &cfg, &rec)?.0
     };
 
     {
@@ -63,7 +60,7 @@ pub fn collect(scale: Scale, seed: u64) -> Result<MetricsReport> {
         let params = DbOutlierParams::new(0.03, 3)?;
         approx_outliers_obs(
             data,
-            &est,
+            &*est,
             &ApproxConfig {
                 slack: 10.0,
                 ..ApproxConfig::new(params)

@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use dbs_core::obs::{Counter, Recorder};
 use dbs_core::{BoundingBox, Result};
-use dbs_density::{KdeConfig, KernelDensityEstimator};
+use dbs_density::EstimatorSpec;
 use dbs_outlier::{approx_outliers_obs, nested_loop_outliers, ApproxConfig, DbOutlierParams};
 use dbs_synth::outliers::planted_outliers;
 use dbs_synth::rect::RectConfig;
@@ -71,17 +71,14 @@ pub fn run(scale: Scale, seed: u64) -> Result<Vec<OutlierRow>> {
         let params = DbOutlierParams::new(radius, 3)?;
 
         let t0 = Instant::now();
-        let kde_cfg = KdeConfig {
-            num_centers: scale.kernels(),
-            domain: Some(BoundingBox::unit(dim)),
-            seed,
-            ..Default::default()
-        };
-        let est = KernelDensityEstimator::fit_dataset(data, &kde_cfg)?;
+        let est = EstimatorSpec::kde(scale.kernels())
+            .with_seed(seed)
+            .with_domain(BoundingBox::unit(dim))
+            .fit(data)?;
         let rec = Recorder::enabled();
         let report = approx_outliers_obs(
             data,
-            &est,
+            &*est,
             // Generous pruning slack: outliers that sit within a kernel
             // bandwidth of a dense cluster look populated to the density
             // model; the verification pass removes any false candidates,

@@ -7,7 +7,7 @@ use dbs_cluster::{
     EvalConfig, HierarchicalConfig,
 };
 use dbs_core::{BoundingBox, Result, WeightedSample};
-use dbs_density::{KdeConfig, KernelDensityEstimator};
+use dbs_density::EstimatorSpec;
 use dbs_sampling::{
     bernoulli_sample, density_biased_sample, grid_biased_sample, one_pass_biased_sample,
     BiasedConfig, GridBiasedConfig,
@@ -59,6 +59,10 @@ pub struct PipelineConfig {
     pub trim_noise: bool,
     /// Seed for estimator + sampler + clustering.
     pub seed: u64,
+    /// Density backend for the biased samplers. `None` keeps the paper's
+    /// KDE with `kernels` centers; `Some` overrides it (substrate
+    /// ablations, `--estimator` sweeps).
+    pub estimator: Option<EstimatorSpec>,
 }
 
 impl PipelineConfig {
@@ -72,7 +76,19 @@ impl PipelineConfig {
             eval_margin: 0.01,
             trim_noise: true,
             seed,
+            estimator: None,
         }
+    }
+
+    /// The estimator spec the biased samplers will fit: the configured
+    /// override, or the paper's KDE with [`Self::kernels`] centers. Seed
+    /// and unit-cube domain are applied here so every caller agrees.
+    pub fn estimator_spec(&self, dim: usize) -> EstimatorSpec {
+        self.estimator
+            .clone()
+            .unwrap_or_else(|| EstimatorSpec::kde(self.kernels))
+            .with_seed(self.seed)
+            .with_domain(BoundingBox::unit(dim))
     }
 }
 
@@ -112,36 +128,24 @@ pub fn draw_sample(
         }
         Sampler::Biased { a } => {
             let t0 = Instant::now();
-            let kde_cfg = KdeConfig {
-                num_centers: cfg.kernels,
-                domain: Some(BoundingBox::unit(dim)),
-                seed: cfg.seed,
-                ..Default::default()
-            };
-            let est = KernelDensityEstimator::fit_dataset(&synth.data, &kde_cfg)?;
+            let est = cfg.estimator_spec(dim).fit(&synth.data)?;
             let est_time = t0.elapsed();
             let t1 = Instant::now();
             let (s, _) = density_biased_sample(
                 &synth.data,
-                &est,
+                &*est,
                 &BiasedConfig::new(cfg.sample_size, a).with_seed(cfg.seed ^ 0xb1a5),
             )?;
             Ok((s, est_time, t1.elapsed()))
         }
         Sampler::OnePassBiased { a } => {
             let t0 = Instant::now();
-            let kde_cfg = KdeConfig {
-                num_centers: cfg.kernels,
-                domain: Some(BoundingBox::unit(dim)),
-                seed: cfg.seed,
-                ..Default::default()
-            };
-            let est = KernelDensityEstimator::fit_dataset(&synth.data, &kde_cfg)?;
+            let est = cfg.estimator_spec(dim).fit(&synth.data)?;
             let est_time = t0.elapsed();
             let t1 = Instant::now();
             let (s, _) = one_pass_biased_sample(
                 &synth.data,
-                &est,
+                &*est,
                 &BiasedConfig::new(cfg.sample_size, a).with_seed(cfg.seed ^ 0xb1a5),
             )?;
             Ok((s, est_time, t1.elapsed()))
@@ -274,6 +278,17 @@ mod tests {
             biased_total > uniform_total,
             "biased {biased_total} vs uniform {uniform_total}"
         );
+    }
+
+    #[test]
+    fn agrid_backed_pipeline_finds_clusters() {
+        let synth = workload(11);
+        let cfg = PipelineConfig {
+            estimator: Some(EstimatorSpec::parse("agrid:8").unwrap()),
+            ..PipelineConfig::new(Sampler::Biased { a: 1.0 }, 500, 10, 12)
+        };
+        let out = run_sampled_clustering(&synth, &cfg).unwrap();
+        assert!(out.found >= 8, "found only {} clusters", out.found);
     }
 
     #[test]

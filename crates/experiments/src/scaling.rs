@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use dbs_core::{BoundingBox, Result};
-use dbs_density::{KdeConfig, KernelDensityEstimator};
+use dbs_density::EstimatorSpec;
 use dbs_sampling::{density_biased_sample, BiasedConfig};
 use dbs_synth::rect::{generate, RectConfig, SizeProfile};
 
@@ -35,16 +35,13 @@ fn measure(n: usize, kernels: usize, seed: u64) -> Result<f64> {
     };
     let synth = generate(&cfg, &SizeProfile::Equal)?;
     let t0 = Instant::now();
-    let kde_cfg = KdeConfig {
-        num_centers: kernels,
-        domain: Some(BoundingBox::unit(2)),
-        seed,
-        ..Default::default()
-    };
-    let est = KernelDensityEstimator::fit_dataset(&synth.data, &kde_cfg)?;
+    let est = EstimatorSpec::kde(kernels)
+        .with_seed(seed)
+        .with_domain(BoundingBox::unit(2))
+        .fit(&synth.data)?;
     let (_, _) = density_biased_sample(
         &synth.data,
-        &est,
+        &*est,
         &BiasedConfig::new(n / 100, 1.0).with_seed(seed),
     )?;
     Ok(t0.elapsed().as_secs_f64())

@@ -6,54 +6,68 @@
 //! probability."
 //!
 //! The approximation used here: the normalizer `k = Σ_{x∈D} f'(x)` is
-//! estimated from the *kernel centers* instead of a dataset pass. The
-//! centers are a uniform sample of `D` (that is how the estimator was
-//! built), so `k ≈ (n/ks) Σ_{c∈centers} f'(c)` is an unbiased Monte-Carlo
-//! estimate of the sum. Sampling then happens during the only remaining
-//! data pass.
+//! derived from the fitted *summary* instead of a dataset pass, through
+//! whichever hook the backend provides. The KDE exposes its kernel centers
+//! ([`DensityEstimator::uniform_probe`]) — a uniform sample of `D`, so
+//! `k ≈ (n/ks) Σ_{c∈centers} f'(c)` is an unbiased Monte-Carlo estimate of
+//! the sum. The histogram-family backends compute the sum from their cell
+//! counts directly ([`DensityEstimator::summary_normalizer`]); exact for
+//! plain and hashed grids, approximate for wavelet and averaged-grid
+//! summaries. Sampling then happens during the only remaining data pass.
 
 use std::num::NonZeroUsize;
 
 use dbs_core::obs::{Counter, Recorder};
 use dbs_core::rng::keyed_unit;
 use dbs_core::{par, Dataset, Error, PointSource, Result, WeightedSample};
-use dbs_density::{DensityEstimator, KernelDensityEstimator};
+use dbs_density::DensityEstimator;
 
 use crate::biased::{BiasedConfig, BiasedSampleStats};
 
-/// Estimates the Figure 1 normalizer `k` from the kernel centers only
+/// Estimates the Figure 1 normalizer `k` from the fitted summary only
 /// (no dataset pass). `floor_rel` is the density floor relative to the
-/// average density, as in [`BiasedConfig::density_floor`]. Center densities
+/// average density, as in [`BiasedConfig::density_floor`]. Probe densities
 /// are evaluated with up to `threads` workers; the result is identical for
-/// every thread count (the batch evaluation returns densities in center
+/// every thread count (the batch evaluation returns densities in probe
 /// order and the fold over them is serial).
-pub fn estimate_normalizer(
-    est: &KernelDensityEstimator,
-    a: f64,
-    floor_rel: f64,
-    threads: NonZeroUsize,
-) -> Result<f64> {
+pub fn estimate_normalizer<E>(est: &E, a: f64, floor_rel: f64, threads: NonZeroUsize) -> Result<f64>
+where
+    E: DensityEstimator + Sync + ?Sized,
+{
     estimate_normalizer_obs(est, a, floor_rel, threads, &Recorder::disabled())
 }
 
-/// [`estimate_normalizer`] with the center evaluation's work counts merged
-/// into `recorder`. The center scan is over derived in-memory data, not
+/// [`estimate_normalizer`] with the probe evaluation's work counts merged
+/// into `recorder`. The probe scan is over derived in-memory data, not
 /// the caller's primary source, so no `DatasetPasses` is recorded — that
-/// is the whole point of the one-pass variant.
-pub fn estimate_normalizer_obs(
-    est: &KernelDensityEstimator,
+/// is the whole point of the one-pass variant. Errors if the backend
+/// offers neither a uniform probe sample nor a summary normalizer.
+pub fn estimate_normalizer_obs<E>(
+    est: &E,
     a: f64,
     floor_rel: f64,
     threads: NonZeroUsize,
     recorder: &Recorder,
-) -> Result<f64> {
-    let centers = est.centers();
-    let ks = centers.len() as f64;
-    let n = est.dataset_size();
+) -> Result<f64>
+where
+    E: DensityEstimator + Sync + ?Sized,
+{
     let floor = floor_rel * est.average_density();
-    let densities = dbs_density::batch_densities_obs(est, centers, threads, recorder)?;
-    let sum: f64 = densities.iter().map(|&f| f.max(floor).powf(a)).sum();
-    Ok(n / ks * sum)
+    if let Some(probe) = est.uniform_probe() {
+        let ks = probe.len() as f64;
+        let n = est.dataset_size();
+        let densities = dbs_density::batch_densities_obs(est, probe, threads, recorder)?;
+        let sum: f64 = densities.iter().map(|&f| f.max(floor).powf(a)).sum();
+        Ok(n / ks * sum)
+    } else if let Some(k) = est.summary_normalizer(a, floor) {
+        Ok(k)
+    } else {
+        Err(Error::InvalidParameter(
+            "estimator supports neither uniform_probe nor summary_normalizer; \
+             use the two-pass sampler"
+                .into(),
+        ))
+    }
 }
 
 /// One-pass density-biased sampling with an approximated normalizer.
@@ -62,13 +76,14 @@ pub fn estimate_normalizer_obs(
 /// [`estimate_normalizer`], so only a single scan of `source` is performed.
 /// The expected sample size is `b` only up to the normalizer approximation
 /// error (typically a few percent with 1000 centers).
-pub fn one_pass_biased_sample<S>(
+pub fn one_pass_biased_sample<S, E>(
     source: &S,
-    estimator: &KernelDensityEstimator,
+    estimator: &E,
     config: &BiasedConfig,
 ) -> Result<(WeightedSample, BiasedSampleStats)>
 where
     S: PointSource + ?Sized,
+    E: DensityEstimator + Sync + ?Sized,
 {
     one_pass_biased_sample_obs(source, estimator, config, &Recorder::disabled())
 }
@@ -78,14 +93,15 @@ where
 /// evaluation and the data pass), and clip events into `recorder`. Output
 /// is byte-identical to the plain entry point (which is this function with
 /// a disabled recorder).
-pub fn one_pass_biased_sample_obs<S>(
+pub fn one_pass_biased_sample_obs<S, E>(
     source: &S,
-    estimator: &KernelDensityEstimator,
+    estimator: &E,
     config: &BiasedConfig,
     recorder: &Recorder,
 ) -> Result<(WeightedSample, BiasedSampleStats)>
 where
     S: PointSource + ?Sized,
+    E: DensityEstimator + Sync + ?Sized,
 {
     let n = source.len();
     if n == 0 {
@@ -175,7 +191,7 @@ mod tests {
     use crate::biased::density_biased_sample;
     use dbs_core::rng::seeded;
     use dbs_core::BoundingBox;
-    use dbs_density::KdeConfig;
+    use dbs_density::{EstimatorSpec, KdeConfig, KernelDensityEstimator};
     use rand::Rng;
 
     fn two_blobs(n: usize, seed: u64) -> Dataset {
@@ -255,6 +271,50 @@ mod tests {
             s.points().iter().filter(|p| p[0] < 0.5).count() as f64 / s.len() as f64
         };
         assert!((dense_frac(&one) - dense_frac(&two)).abs() < 0.05);
+    }
+
+    #[test]
+    fn summary_normalizer_close_to_exact_for_sublinear_backends() {
+        let ds = two_blobs(20_000, 8);
+        for (spec, tol) in [("grid:16", 1e-9), ("hashgrid:16", 1e-9), ("agrid:8", 0.25)] {
+            let est = EstimatorSpec::parse(spec)
+                .unwrap()
+                .with_seed(3)
+                .with_domain(BoundingBox::unit(2))
+                .fit(&ds)
+                .unwrap();
+            let floor = 0.01 * est.average_density();
+            let approx =
+                estimate_normalizer(&*est, 1.0, 0.01, par::available_parallelism()).unwrap();
+            let mut exact = 0.0;
+            for p in ds.iter() {
+                exact += est.density(p).max(floor);
+            }
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel < tol,
+                "{spec}: approx {approx} vs exact {exact} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn one_pass_with_agrid_backend() {
+        let ds = two_blobs(20_000, 9);
+        let est = EstimatorSpec::parse("agrid:8")
+            .unwrap()
+            .with_seed(5)
+            .with_domain(BoundingBox::unit(2))
+            .fit(&ds)
+            .unwrap();
+        let counted = dbs_core::scan::PassCounter::new(&ds);
+        let (s, stats) =
+            one_pass_biased_sample(&counted, &*est, &BiasedConfig::new(800, 1.0).with_seed(11))
+                .unwrap();
+        assert_eq!(counted.passes(), 1);
+        assert_eq!(stats.passes, 1);
+        let size = s.len() as f64;
+        assert!((size - 800.0).abs() < 200.0, "size {size}");
     }
 
     #[test]

@@ -36,3 +36,9 @@ experiments:
 # (deterministic counters + machine-dependent stage timings).
 metrics:
     cargo run --release -p dbs-experiments -- metrics --metrics-out metrics_sample.json
+
+# Averaged-grid estimator A/B: fit + batch query vs KDE and hashed grid
+# at d in {2,3,5}, 100k and 1M points. The recorded BENCH_agrid.json
+# carries the d=5/100k agrid-vs-KDE query comparison (>=5x target).
+bench-agrid:
+    CRITERION_JSON=BENCH_agrid.json cargo bench -p dbs-bench --bench agrid

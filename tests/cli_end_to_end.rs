@@ -102,6 +102,94 @@ fn sample_flow_writes_weights_that_sum_to_n() {
 }
 
 #[test]
+fn sample_output_is_thread_count_invariant_for_every_estimator() {
+    // The determinism pledge behind `--threads`: for every density backend
+    // the sampled output files are byte-identical at 1, 2, and 7 threads.
+    let synth = clustered_noisy(6_000, 2, 0.2, 9);
+    let path = tmp("par.txt");
+    write_text(&path, &synth.data).unwrap();
+    for spec in [
+        "kde:300",
+        "grid:16",
+        "hashgrid:16",
+        "wavelet:4:64",
+        "agrid:4",
+    ] {
+        let mut baseline: Option<(String, String)> = None;
+        for threads in ["1", "2", "7"] {
+            let out_path = tmp(&format!("par_out_{}", threads));
+            let w_path = tmp(&format!("par_w_{}", threads));
+            run_cli(&[
+                "sample",
+                path.to_str().unwrap(),
+                "--size",
+                "300",
+                "--estimator",
+                spec,
+                "--seed",
+                "13",
+                "--threads",
+                threads,
+                "--output",
+                out_path.to_str().unwrap(),
+                "--weights",
+                w_path.to_str().unwrap(),
+            ])
+            .unwrap();
+            let got = (
+                std::fs::read_to_string(&out_path).unwrap(),
+                std::fs::read_to_string(&w_path).unwrap(),
+            );
+            assert!(
+                !got.0.is_empty(),
+                "{spec}: empty sample at {threads} threads"
+            );
+            match &baseline {
+                None => baseline = Some(got),
+                Some(base) => assert_eq!(
+                    base, &got,
+                    "{spec}: output differs between 1 and {threads} threads"
+                ),
+            }
+            std::fs::remove_file(&out_path).ok();
+            std::fs::remove_file(&w_path).ok();
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn density_backends_route_through_the_estimator_factory() {
+    // Factory-discipline gate: no CLI or experiments code may fit the KDE
+    // directly — every density fit goes through `EstimatorSpec::fit`, so
+    // `--estimator` reaches every code path. Scans the sources for direct
+    // `fit_dataset` calls.
+    // The integration-tests crate lives in <repo>/tests.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .to_path_buf();
+    for dir in ["crates/cli/src", "crates/experiments/src"] {
+        let mut stack = vec![root.join(dir)];
+        while let Some(d) = stack.pop() {
+            for entry in std::fs::read_dir(&d).unwrap() {
+                let p = entry.unwrap().path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.extension().is_some_and(|e| e == "rs") {
+                    let src = std::fs::read_to_string(&p).unwrap();
+                    assert!(
+                        !src.contains("fit_dataset"),
+                        "{}: direct KDE fit bypasses the EstimatorSpec factory",
+                        p.display()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn sample_exponent_changes_the_sample() {
     let synth = clustered_noisy(8_000, 2, 0.5, 7);
     let path = tmp("exp.txt");

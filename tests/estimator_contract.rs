@@ -1,42 +1,39 @@
 //! Contract tests every [`DensityEstimator`] backend must satisfy — the
-//! §2.1 requirement that `∫_R f ≈ |D ∩ R|`, plus non-negativity and
-//! frequency scaling. Run against all three backends on the same data.
+//! §2.1 requirement that `∫_R f ≈ |D ∩ R|`, plus non-negativity, frequency
+//! scaling, batch/scalar bit-parity, and thread-count determinism. Run
+//! against all five backends on the same data, fitted through the
+//! [`EstimatorSpec`] factory (the same path the CLI's `--estimator` uses).
+
+use std::num::NonZeroUsize;
 
 use dbs_core::{BoundingBox, Dataset};
-use dbs_density::{
-    DensityEstimator, GridEstimator, HashGridEstimator, KdeConfig, KernelDensityEstimator,
-    WaveletEstimator,
-};
+use dbs_density::{batch_densities, DensityEstimator, EstimatorSpec};
 use dbs_integration_tests::{clustered, uniform_cube};
 
-fn backends(data: &Dataset, dim: usize) -> Vec<(String, Box<dyn DensityEstimator>)> {
-    let kde_cfg = KdeConfig {
-        num_centers: 500,
-        domain: Some(BoundingBox::unit(dim)),
-        seed: 7,
-        ..Default::default()
-    };
-    vec![
-        (
-            "kde".into(),
-            Box::new(KernelDensityEstimator::fit_dataset(data, &kde_cfg).unwrap())
-                as Box<dyn DensityEstimator>,
-        ),
-        (
-            "grid".into(),
-            Box::new(GridEstimator::fit(data, BoundingBox::unit(dim), 16).unwrap()),
-        ),
-        (
-            "hashgrid".into(),
-            // Generous table: few collisions, so the contract holds.
-            Box::new(HashGridEstimator::fit(data, BoundingBox::unit(dim), 16, 1 << 16).unwrap()),
-        ),
-        (
-            "wavelet".into(),
-            // Half the coefficients kept: lossy but structure-preserving.
-            Box::new(WaveletEstimator::fit(data, BoundingBox::unit(dim), 4, 128).unwrap()),
-        ),
-    ]
+/// Specs for all five backends, parameterized as the CLI would parse them.
+/// Generous hash table: few collisions, so the contract holds; half the
+/// wavelet coefficients kept: lossy but structure-preserving.
+const SPECS: [&str; 5] = [
+    "kde:500",
+    "grid:16",
+    "hashgrid:16",
+    "wavelet:4:128",
+    "agrid:8",
+];
+
+fn backends(data: &Dataset, dim: usize) -> Vec<(String, Box<dyn DensityEstimator + Sync>)> {
+    SPECS
+        .iter()
+        .map(|spec| {
+            let est = EstimatorSpec::parse(spec)
+                .unwrap()
+                .with_seed(7)
+                .with_domain(BoundingBox::unit(dim))
+                .fit(data)
+                .unwrap();
+            (spec.to_string(), est)
+        })
+        .collect()
 }
 
 #[test]
@@ -94,21 +91,98 @@ fn box_integral_approximates_point_count() {
 #[test]
 fn whole_domain_integral_is_n() {
     let data = uniform_cube(10_000, 2, 4);
-    let kde_cfg = KdeConfig {
-        num_centers: 500,
-        domain: Some(BoundingBox::unit(2)),
-        seed: 5,
-        ..Default::default()
-    };
-    let kde = KernelDensityEstimator::fit_dataset(&data, &kde_cfg).unwrap();
-    // Integrate over a widened box so boundary kernel mass is captured.
+    // Integrate over a widened box so boundary kernel mass is captured;
+    // backends supported on the domain read the same as the unit box.
     let wide = BoundingBox::new(vec![-0.5, -0.5], vec![1.5, 1.5]);
-    let got = kde.integrate_box(&wide);
-    assert!((got - 10_000.0).abs() < 10.0, "kde total mass {got}");
+    for (name, est) in backends(&data, 2) {
+        let got = est.integrate_box(&wide);
+        let rel = (got - 10_000.0).abs() / 10_000.0;
+        assert!(rel < 0.05, "{name}: total mass {got}");
+    }
+}
 
-    let grid = GridEstimator::fit(&data, BoundingBox::unit(2), 16).unwrap();
-    let got = grid.integrate_box(&BoundingBox::unit(2));
-    assert!((got - 10_000.0).abs() < 1e-6, "grid total mass {got}");
+#[test]
+fn average_density_is_consistent_with_size_and_volume() {
+    let synth = clustered(10_000, 2, 9);
+    for (name, est) in backends(&synth.data, 2) {
+        // Unit domain: average density must equal n / volume = n.
+        let avg = est.average_density();
+        let expected = est.dataset_size() / BoundingBox::unit(2).volume();
+        assert!(
+            (avg - expected).abs() < 1e-6 * expected,
+            "{name}: average {avg} vs n/vol {expected}"
+        );
+    }
+}
+
+#[test]
+fn batch_is_bit_identical_to_per_point() {
+    let synth = clustered(10_000, 2, 10);
+    // Queries both inside and outside the domain.
+    let mut queries = Dataset::new(2);
+    for i in 0..500 {
+        let t = i as f64 / 499.0;
+        queries.push(&[t * 1.4 - 0.2, 1.2 - t * 1.4]).unwrap();
+    }
+    for (name, est) in backends(&synth.data, 2) {
+        let mut out = vec![0.0f64; queries.len()];
+        est.densities_into(&queries, 0..queries.len(), &mut out);
+        for (i, &got) in out.iter().enumerate() {
+            let want = est.density(queries.point(i));
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{name}: batch density {got} != per-point {want} at query {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn box_integral_is_nonnegative_and_bounded_by_n() {
+    let synth = clustered(10_000, 2, 11);
+    let probes = [
+        BoundingBox::new(vec![0.1, 0.1], vec![0.4, 0.7]),
+        BoundingBox::new(vec![0.33, 0.21], vec![0.34, 0.9]),
+        BoundingBox::new(vec![-0.5, -0.5], vec![1.5, 1.5]),
+        BoundingBox::new(vec![0.7, 0.7], vec![0.70001, 0.70001]),
+    ];
+    for (name, est) in backends(&synth.data, 2) {
+        for probe in &probes {
+            let got = est.integrate_box(probe);
+            assert!(got >= 0.0, "{name}: negative integral {got} over {probe:?}");
+            // Allow a small quadrature/smoothing margin above n.
+            assert!(
+                got <= 10_000.0 * 1.05,
+                "{name}: integral {got} exceeds dataset size over {probe:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_densities_are_thread_count_invariant() {
+    let synth = clustered(20_000, 2, 12);
+    for (name, est) in backends(&synth.data, 2) {
+        let baseline =
+            batch_densities(est.as_ref(), &synth.data, NonZeroUsize::new(1).unwrap()).unwrap();
+        for threads in [2usize, 7] {
+            let got = batch_densities(
+                est.as_ref(),
+                &synth.data,
+                NonZeroUsize::new(threads).unwrap(),
+            )
+            .unwrap();
+            let same = baseline
+                .iter()
+                .zip(&got)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(
+                same,
+                "{name}: densities differ between 1 and {threads} threads"
+            );
+        }
+    }
 }
 
 #[test]
