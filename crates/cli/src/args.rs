@@ -58,6 +58,14 @@ commands:
               --clusters K    target cluster count (default 10)
               --size/--exponent/--kernels as for sample
               --no-trim       disable CURE noise trimming
+              --partitions P  pre-cluster P deterministic partitions before
+                              the final merge pass (default 1)
+              --pre-factor Q  per-partition reduction factor: each partition
+                              pre-clusters to ~1/Q of its points (default 3)
+              --sample-frac F cluster a density-biased sample of F·n points
+                              (F in (0,1]), then assign every dataset point
+                              to its nearest representative; 1.0 clusters
+                              the full dataset directly
   outliers  detect DB(p,k) outliers
               --radius K      neighborhood radius (normalized units)
               --neighbors P   max neighbors for an outlier (default 3)

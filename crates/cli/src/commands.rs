@@ -7,7 +7,9 @@
 use std::io::Write;
 use std::path::Path;
 
-use dbs_cluster::{hierarchical_cluster_obs, HierarchicalConfig, NOISE};
+use dbs_cluster::{
+    partitioned_cluster_obs, sample_fed_cluster_obs, sample_target_size, HierarchicalConfig, NOISE,
+};
 use dbs_core::io::{read_binary, read_text, write_text};
 use dbs_core::obs::Recorder;
 use dbs_core::{BoundingBox, Dataset, MinMaxScaler};
@@ -171,14 +173,76 @@ fn cluster(
     out: &mut dyn Write,
 ) -> Result<(), String> {
     let (scaled, scaler) = normalize(data)?;
+    let a = args.get_f64("exponent", 1.0)?;
+    let k = args.get_usize("clusters", 10)?;
+    let threads = args.get_threads()?;
+    let mut hc = HierarchicalConfig::paper_defaults(k)
+        .with_parallelism(threads)
+        .with_partitions(args.get_usize("partitions", 1)?)
+        .with_pre_cluster_factor(args.get_usize("pre-factor", 3)?);
+    if args.get_flag("no-trim") {
+        hc.trim_min_size = 0;
+    }
+
+    // --sample-frac selects the scalable path: cluster an F·n-point
+    // density-biased sample, then map every dataset point back to its
+    // nearest representative. F = 1.0 clusters the full dataset directly
+    // (no estimator, no sampling, no map-back).
+    if args.get_str("sample-frac").is_some() {
+        let frac = args.get_f64("sample-frac", 1.0)?;
+        let target = sample_target_size(scaled.len(), frac).map_err(|e| e.to_string())?;
+        let clustering = if target == scaled.len() {
+            let _span = rec.span("cluster");
+            partitioned_cluster_obs(&scaled, &hc, rec).map_err(|e| e.to_string())?
+        } else {
+            let est = {
+                let _span = rec.span("fit_density");
+                fit_estimator(&scaled, args)?
+            };
+            let cfg = BiasedConfig::new(target, a)
+                .with_seed(args.get_u64("seed", 0)?)
+                .with_parallelism(threads);
+            let (s, _) = {
+                let _span = rec.span("sample");
+                density_biased_sample_obs(&scaled, &*est, &cfg, rec).map_err(|e| e.to_string())?
+            };
+            let _span = rec.span("cluster");
+            sample_fed_cluster_obs(&scaled, s.points(), &hc, rec).map_err(|e| e.to_string())?
+        };
+        let noise = clustering
+            .assignments
+            .iter()
+            .filter(|&&x| x == NOISE)
+            .count();
+        writeln!(
+            out,
+            "clustered {} points from a {target}-point sample into {} clusters ({} points marked noise)",
+            scaled.len(),
+            clustering.clusters.len(),
+            noise
+        )
+        .map_err(io_err)?;
+        for (i, c) in clustering.clusters.iter().enumerate() {
+            let mut mean = c.mean.clone();
+            scaler.inverse_point(&mut mean);
+            writeln!(
+                out,
+                "  cluster {i}: {} points, mean {:?}",
+                c.members.len(),
+                mean.iter()
+                    .map(|x| (x * 1000.0).round() / 1000.0)
+                    .collect::<Vec<_>>()
+            )
+            .map_err(io_err)?;
+        }
+        return Ok(());
+    }
+
     let est = {
         let _span = rec.span("fit_density");
         fit_estimator(&scaled, args)?
     };
     let b = args.get_usize("size", 1000)?;
-    let a = args.get_f64("exponent", 1.0)?;
-    let k = args.get_usize("clusters", 10)?;
-    let threads = args.get_threads()?;
     let cfg = BiasedConfig::new(b, a)
         .with_seed(args.get_u64("seed", 0)?)
         .with_parallelism(threads);
@@ -186,13 +250,9 @@ fn cluster(
         let _span = rec.span("sample");
         density_biased_sample_obs(&scaled, &*est, &cfg, rec).map_err(|e| e.to_string())?
     };
-    let mut hc = HierarchicalConfig::paper_defaults(k).with_parallelism(threads);
-    if args.get_flag("no-trim") {
-        hc.trim_min_size = 0;
-    }
     let clustering = {
         let _span = rec.span("cluster");
-        hierarchical_cluster_obs(s.points(), &hc, rec).map_err(|e| e.to_string())?
+        partitioned_cluster_obs(s.points(), &hc, rec).map_err(|e| e.to_string())?
     };
     let noise = clustering
         .assignments
@@ -398,6 +458,112 @@ mod tests {
             output.contains("102.") || output.contains("103."),
             "{output}"
         );
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn cluster_partitioned_finds_the_two_blobs() {
+        let file = write_sample_file("cluster_part");
+        let output = run_cli(&[
+            "cluster",
+            &file,
+            "--clusters",
+            "2",
+            "--size",
+            "300",
+            "--kernels",
+            "200",
+            "--partitions",
+            "2",
+        ]);
+        assert!(output.contains("into 2 clusters"), "{output}");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn cluster_sample_fed_labels_every_point() {
+        let file = write_sample_file("cluster_frac");
+        let output = run_cli(&[
+            "cluster",
+            &file,
+            "--clusters",
+            "2",
+            "--sample-frac",
+            "0.2",
+            "--estimator",
+            "agrid:4",
+        ]);
+        assert!(output.contains("clustered 601 points"), "{output}");
+        assert!(output.contains("from a 121-point sample"), "{output}");
+        assert!(output.contains("into 2 clusters"), "{output}");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn cluster_full_frac_skips_sampling() {
+        let file = write_sample_file("cluster_full");
+        let output = run_cli(&[
+            "cluster",
+            &file,
+            "--clusters",
+            "2",
+            "--sample-frac",
+            "1.0",
+            "--partitions",
+            "3",
+        ]);
+        assert!(output.contains("clustered 601 points"), "{output}");
+        assert!(output.contains("from a 601-point sample"), "{output}");
+        assert!(output.contains("into 2 clusters"), "{output}");
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn cluster_sample_fed_is_thread_count_independent() {
+        let file = write_sample_file("cluster_frac_threads");
+        let mut outputs = Vec::new();
+        for t in ["1", "7"] {
+            outputs.push(run_cli(&[
+                "cluster",
+                &file,
+                "--clusters",
+                "2",
+                "--sample-frac",
+                "0.25",
+                "--estimator",
+                "agrid:4",
+                "--partitions",
+                "2",
+                "--threads",
+                t,
+            ]));
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        std::fs::remove_file(&file).ok();
+    }
+
+    #[test]
+    fn cluster_rejects_bad_scalable_options() {
+        let file = write_sample_file("cluster_bad");
+        for bad in [
+            vec!["cluster", &file, "--sample-frac", "1.5"],
+            vec!["cluster", &file, "--sample-frac", "0"],
+            vec!["cluster", &file, "--partitions", "0"],
+            vec![
+                "cluster",
+                &file,
+                "--sample-frac",
+                "1.0",
+                "--pre-factor",
+                "0",
+            ],
+        ] {
+            let args: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            let parsed = parse(&args).unwrap();
+            let mut out = Vec::new();
+            let err = run(&parsed, &mut out).unwrap_err();
+            assert!(err.contains("invalid parameter"), "{bad:?}: {err}");
+        }
         std::fs::remove_file(&file).ok();
     }
 

@@ -93,9 +93,23 @@ pub struct HierarchicalConfig {
     pub trim_min_size: usize,
     /// Divisor for the sample-proportional part of the trim minimum.
     pub trim_size_divisor: usize,
+    /// Partition count `p` for [`crate::partitioned_cluster`]: the input is
+    /// split on the fixed 4096-point chunk grid (chunk `c` goes to
+    /// partition `c % p`), each partition is pre-clustered independently,
+    /// and the partial clusters are merged in a final pass. `1` (the
+    /// default) clusters everything in one partition — bit-identical to
+    /// [`hierarchical_cluster`]. Ignored by the single-phase entry points.
+    pub partitions: usize,
+    /// Pre-clustering reduction factor `q`: each partition of `n_j` points
+    /// is pre-clustered down to `max(k, ceil(n_j / q))` partial clusters
+    /// before the final merge pass (CURE §4.3 recommends a small constant;
+    /// larger values shrink the final pass at some quality risk). Ignored
+    /// by the single-phase entry points.
+    pub pre_cluster_factor: usize,
     /// Worker threads for the setup phase (kd-tree construction and the
-    /// initial nearest-neighbor scan). The clustering result is identical
-    /// for every value; `1` runs fully serial.
+    /// initial nearest-neighbor scan) and for partition pre-clustering. The
+    /// clustering result is identical for every value; `1` runs fully
+    /// serial.
     pub parallelism: NonZeroUsize,
 }
 
@@ -110,6 +124,8 @@ impl HierarchicalConfig {
             trim_distance_factor: 3.0,
             trim_min_size: 3,
             trim_size_divisor: 200,
+            partitions: 1,
+            pre_cluster_factor: 3,
             parallelism: par::available_parallelism(),
         }
     }
@@ -117,6 +133,19 @@ impl HierarchicalConfig {
     /// Sets the worker thread count for the setup phase.
     pub fn with_parallelism(mut self, threads: NonZeroUsize) -> Self {
         self.parallelism = threads;
+        self
+    }
+
+    /// Sets the partition count for [`crate::partitioned_cluster`].
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
+    /// Sets the pre-clustering reduction factor for
+    /// [`crate::partitioned_cluster`].
+    pub fn with_pre_cluster_factor(mut self, q: usize) -> Self {
+        self.pre_cluster_factor = q;
         self
     }
 }
@@ -143,15 +172,15 @@ pub struct Clustering {
 }
 
 #[derive(Debug)]
-struct Agglo {
-    members: Vec<u32>,
-    mean: Vec<f64>,
+pub(crate) struct Agglo {
+    pub(crate) members: Vec<u32>,
+    pub(crate) mean: Vec<f64>,
     /// Sum of member coordinates (exact mean maintenance under merges).
-    coord_sum: Vec<f64>,
-    reps: Vec<Vec<f64>>,
-    closest: usize,
-    closest_dist: f64,
-    active: bool,
+    pub(crate) coord_sum: Vec<f64>,
+    pub(crate) reps: Vec<Vec<f64>>,
+    pub(crate) closest: usize,
+    pub(crate) closest_dist: f64,
+    pub(crate) active: bool,
 }
 
 /// Minimum distance between the representative sets of two clusters.
@@ -220,7 +249,7 @@ fn scattered_representatives(
 }
 
 /// Rejects degenerate inputs (shared by both cores).
-fn validate(data: &Dataset, config: &HierarchicalConfig) -> Result<()> {
+pub(crate) fn validate(data: &Dataset, config: &HierarchicalConfig) -> Result<()> {
     if data.is_empty() {
         return Err(Error::InvalidParameter(
             "cannot cluster an empty dataset".into(),
@@ -250,7 +279,7 @@ fn validate(data: &Dataset, config: &HierarchicalConfig) -> Result<()> {
 /// [`KdTree::nearest_excluding_sq`] returns exactly the `euclidean_sq`
 /// value the search computed, bit-equal to every later [`cluster_dist`]
 /// comparison (the rounded sqrt-then-square round trip is not).
-fn init_singletons(data: &Dataset, config: &HierarchicalConfig) -> Vec<Agglo> {
+pub(crate) fn init_singletons(data: &Dataset, config: &HierarchicalConfig) -> Vec<Agglo> {
     let n = data.len();
     let threads = config.parallelism;
     let tree = KdTree::build_par(data, threads);
@@ -293,12 +322,24 @@ fn initial_trim_threshold_sq(
     n: usize,
     dim: usize,
 ) -> Option<f64> {
+    let nn: Vec<f64> = clusters.iter().map(|c| c.closest_dist).collect();
+    trim_threshold_from_nn(&nn, config, n, dim)
+}
+
+/// [`initial_trim_threshold_sq`] from a raw slice of initial squared NN
+/// distances. The partitioned path also uses this to derive the map-back
+/// noise threshold from the concatenated per-partition NN distances.
+pub(crate) fn trim_threshold_from_nn(
+    nn: &[f64],
+    config: &HierarchicalConfig,
+    n: usize,
+    dim: usize,
+) -> Option<f64> {
     if config.trim_min_size == 0 || n <= config.num_clusters {
         return None;
     }
-    let nn: Vec<f64> = clusters.iter().map(|c| c.closest_dist).collect();
     let q = config.trim_nn_quantile.clamp(0.0, 1.0);
-    let base = stats::quantile(&nn, q);
+    let base = stats::quantile(nn, q);
     // Distances concentrate with dimension: a density ratio rho between
     // cluster interiors and noise shows up as a distance ratio of only
     // rho^(1/d). The configured factor is interpreted at d = 2 and
@@ -384,7 +425,7 @@ fn apply_merge(
 }
 
 /// Packs the surviving clusters into the output form (shared).
-fn assemble(clusters: Vec<Agglo>, n: usize, live: usize) -> Clustering {
+pub(crate) fn assemble(clusters: Vec<Agglo>, n: usize, live: usize) -> Clustering {
     let mut assignments = vec![NOISE; n];
     let mut out_clusters = Vec::with_capacity(live);
     for c in clusters.into_iter().filter(|c| c.active) {
@@ -480,26 +521,71 @@ fn recompute_via_index(
     best
 }
 
+/// Resumable noise-trim trigger state: the next squared-distance threshold
+/// (`None` when trimming is disabled or exhausted its preconditions) and
+/// how many trim rounds have fired. The partitioned path carries this
+/// across the phase boundary so a `p = 1` run is a pure continuation of
+/// the single-phase loop.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TrimState {
+    pub(crate) next_sq: Option<f64>,
+    pub(crate) round: u32,
+}
+
+impl TrimState {
+    /// The single-phase initial state for `clusters` fresh out of
+    /// [`init_singletons`].
+    fn initial(clusters: &[Agglo], config: &HierarchicalConfig, n: usize, dim: usize) -> TrimState {
+        TrimState {
+            next_sq: initial_trim_threshold_sq(clusters, config, n, dim),
+            round: 0,
+        }
+    }
+}
+
 /// The accelerated merge loop: heap-driven closest-pair selection, rep-index
 /// recomputation, bbox-pruned broadcast. Mutates `clusters` in place and
 /// returns the live cluster count.
-fn run_merge_loop(
+///
+/// Generalized for the partitioned path:
+/// * every cluster in `clusters` must be active on entry;
+/// * the loop merges until `live <= stop_live` (the single-phase callers
+///   pass `k`; partition pre-clustering passes its larger partial-cluster
+///   target — the trim *floor* stays `k` in every phase, so a `p = 1`
+///   two-phase run trims exactly like the single-phase loop);
+/// * `trim` carries the distance-trigger state across phases;
+/// * `reseed_pointers` recomputes every closest pointer (lexicographic
+///   `(dist, id)` minimum) before merging — required when `clusters` was
+///   assembled from parts whose pointers do not span the whole id space.
+///   Continuation callers (`p = 1` phase B) instead pass `false` and keep
+///   the carried pointers: a maintained pointer keeps the incumbent on
+///   exact distance ties where a recomputation would pick the lowest id,
+///   so recomputing could change the merge sequence.
+///
+/// On every exit with `live > config.num_clusters`, all active closest
+/// pointers target active clusters (the trim branch refreshes stale
+/// pointers before stopping), so a later loop invocation can resume from
+/// the carried state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_merge_loop(
     data: &Dataset,
     config: &HierarchicalConfig,
     clusters: &mut [Agglo],
     noise: &mut Vec<u32>,
+    stop_live: usize,
+    trim: &mut TrimState,
+    reseed_pointers: bool,
     tally: &mut Tally,
 ) -> usize {
     let n = clusters.len();
+    let n_points = data.len();
     let dim = data.dim();
     let k = config.num_clusters;
+    let stop_live = stop_live.max(k);
     let mut live = n;
-    if live <= k {
+    if live <= stop_live {
         return live;
     }
-
-    let mut next_trim_sq = initial_trim_threshold_sq(clusters, config, n, dim);
-    let mut trim_round: u32 = 0;
 
     // Rep index over every active cluster's representative points. The
     // domain is the data's bounding box: reps are members shrunk toward a
@@ -508,6 +594,14 @@ fn run_merge_loop(
     let mut index = RepIndex::new(domain, n);
     for (id, c) in clusters.iter().enumerate() {
         index.insert_all(id as u32, &c.reps);
+    }
+
+    if reseed_pointers {
+        for id in 0..n {
+            let (j, d) = recompute_via_index(&index, id, &clusters[id].reps, tally);
+            clusters[id].closest = j;
+            clusters[id].closest_dist = d;
+        }
     }
 
     // Per-cluster rep bounding boxes for the broadcast prune.
@@ -556,7 +650,7 @@ fn run_merge_loop(
     let mut pops = 0u64;
     let mut stale = 0u64;
 
-    while live > k {
+    while live > stop_live {
         // Pop the globally closest pair (lowest id on distance ties),
         // discarding stale entries.
         let (best, u) = loop {
@@ -578,11 +672,11 @@ fn run_merge_loop(
         // Noise trim (CURE's outlier handling, distance-triggered): each
         // time the pending merge moves further out of the intra-cluster
         // distance regime, drop the clusters that grew too slowly.
-        if next_trim_sq.is_some_and(|t| best > t) {
+        if trim.next_sq.is_some_and(|t| best > t) {
             // Re-arm at double the distance (4x on squared distances).
-            next_trim_sq = Some(next_trim_sq.expect("checked above").max(best) * 4.0);
-            let min_size = trim_min_size(config, n, trim_round);
-            trim_round += 1;
+            trim.next_sq = Some(trim.next_sq.expect("checked above").max(best) * 4.0);
+            let min_size = trim_min_size(config, n_points, trim.round);
+            trim.round += 1;
             let u_gen = gens[u];
             let trimmed = trim_pass(clusters, &mut live, noise, min_size, k);
             for &id in &trimmed {
@@ -610,6 +704,13 @@ fn run_merge_loop(
                 // the refresh already replaced it (or `u` was trimmed).
                 if clusters[u].active && gens[u] == u_gen {
                     push_current(&mut heap, &gens, clusters, u);
+                }
+                // A pre-clustering phase (stop_live > k) stops here only
+                // *after* the stale-pointer refresh above, so the carried
+                // pointers stay resumable. Unreachable when stop_live == k
+                // (the `live <= k` break already fired).
+                if live <= stop_live {
+                    break;
                 }
                 continue; // re-select the closest pair among survivors
             }
@@ -813,7 +914,17 @@ pub fn hierarchical_cluster_obs(
     let mut clusters = init_singletons(data, config);
     let mut noise: Vec<u32> = Vec::new();
     let mut tally = Tally::default();
-    let live = run_merge_loop(data, config, &mut clusters, &mut noise, &mut tally);
+    let mut trim = TrimState::initial(&clusters, config, data.len(), data.dim());
+    let live = run_merge_loop(
+        data,
+        config,
+        &mut clusters,
+        &mut noise,
+        config.num_clusters,
+        &mut trim,
+        false,
+        &mut tally,
+    );
     recorder.merge(&tally);
     Ok(assemble(clusters, data.len(), live))
 }

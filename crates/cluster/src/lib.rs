@@ -15,6 +15,9 @@
 //! * [`kmeans`] / [`kmedoids`] — weight-aware partitional algorithms; §3.1
 //!   explains that biased samples must be debiased with `1/p_i` weights for
 //!   these objectives.
+//! * [`partitioned`] — the scalable path around the quadratic merge loop:
+//!   CURE's partitioning scheme, sample-fed clustering, and full-dataset
+//!   label map-back, all bit-reproducible at any thread count.
 //! * [`eval`] — the "cluster found" criterion of §4.3 (≥ 90 % of a found
 //!   cluster's representatives inside one true cluster; BIRCH centers
 //!   inside a true cluster) and generic label-based metrics.
@@ -27,6 +30,7 @@ pub mod eval;
 pub mod hierarchical;
 pub mod kmeans;
 pub mod kmedoids;
+pub mod partitioned;
 
 pub use birch::{Birch, BirchClustering, BirchConfig};
 pub use eval::{clusters_found, clusters_found_by_centers, EvalConfig};
@@ -36,3 +40,7 @@ pub use hierarchical::{
 };
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use kmedoids::{kmedoids, KMedoidsConfig, KMedoidsResult};
+pub use partitioned::{
+    map_back_labels, map_back_labels_obs, partitioned_cluster, partitioned_cluster_obs,
+    sample_fed_cluster, sample_fed_cluster_obs, sample_target_size,
+};

@@ -73,10 +73,16 @@ pub enum Counter {
     /// Shifted grids averaged by averaged-grid batch evaluations (one per
     /// (chunk, grid) pair).
     AgridGridsAveraged,
+    /// Merges performed inside partition pre-clustering (phase A of the
+    /// partitioned CURE run); a subset of [`Counter::ClusterMerges`].
+    PartitionPreMerges,
+    /// Rep-point distance evaluations spent assigning full-dataset points
+    /// to their nearest representative during label map-back.
+    MapBackDistEvals,
 }
 
 /// Number of counters in the catalog.
-pub const COUNTER_COUNT: usize = 16;
+pub const COUNTER_COUNT: usize = 18;
 
 impl Counter {
     /// Every counter, in catalog (discriminant) order.
@@ -97,6 +103,8 @@ impl Counter {
         Counter::VerifyDistanceEvals,
         Counter::AgridCellTouches,
         Counter::AgridGridsAveraged,
+        Counter::PartitionPreMerges,
+        Counter::MapBackDistEvals,
     ];
 
     /// The counter's stable snake_case name (the JSON key).
@@ -118,6 +126,8 @@ impl Counter {
             Counter::VerifyDistanceEvals => "verify_distance_evals",
             Counter::AgridCellTouches => "agrid_cell_touches",
             Counter::AgridGridsAveraged => "agrid_grids_averaged",
+            Counter::PartitionPreMerges => "partition_pre_merges",
+            Counter::MapBackDistEvals => "map_back_dist_evals",
         }
     }
 }

@@ -660,7 +660,7 @@ mod tests {
         let touches = tally.get(Counter::AgridCellTouches);
         // At most one distinct-cell run per (point, grid), at least one
         // per grid.
-        assert!(touches >= 8 && touches <= 8 * 1000, "touches {touches}");
+        assert!((8..=8 * 1000).contains(&touches), "touches {touches}");
     }
 
     #[test]

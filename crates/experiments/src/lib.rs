@@ -15,6 +15,7 @@
 //! | [`fig6`] | Figure 6 — 3-d noise sweep at 2 % sample |
 //! | [`fig7`] | Figure 7 — found clusters vs number of kernels |
 //! | [`scaling`] | §4.3 runtime-scaling claims (linear in n and kernels) |
+//! | [`scalable`] | full vs partitioned vs sample-fed CURE quality/runtime |
 //! | [`geo`] | §4.3 real-data experiments (NorthEast / California) |
 //! | [`outliers`] | §4.5 outlier detection (recall, passes, pruning) |
 //! | [`ablation`] | exponent sweep, one-pass vs two-pass, kernel/bandwidth |
@@ -38,6 +39,7 @@ pub mod metrics;
 pub mod outliers;
 pub mod pipeline;
 pub mod report;
+pub mod scalable;
 pub mod scaling;
 pub mod theorem1;
 

@@ -12,6 +12,7 @@
 //!   fig6       3-d noise sweep
 //!   fig7       kernels sweep
 //!   scaling    linear-scaling measurements
+//!   scalable   full vs partitioned vs sample-fed CURE
 //!   geo        NorthEast / California simulations
 //!   outliers   DB(p,k) detection
 //!   ablation   exponent / one-pass / kernel / backend ablations
@@ -21,7 +22,8 @@
 //! ```
 
 use dbs_experiments::{
-    ablation, fig2, fig3, fig4, fig5, fig6, fig7, geo, metrics, outliers, scaling, theorem1, Scale,
+    ablation, fig2, fig3, fig4, fig5, fig6, fig7, geo, metrics, outliers, scalable, scaling,
+    theorem1, Scale,
 };
 
 fn main() {
@@ -67,6 +69,7 @@ fn main() {
             "fig6" => fig6::render(scale, seed),
             "fig7" => fig7::render(scale, seed),
             "scaling" => scaling::render(scale, seed),
+            "scalable" => scalable::render(scale, seed),
             "geo" => geo::render(scale, seed),
             "outliers" => outliers::render(scale, seed),
             "ablation" => ablation::render(scale, seed),
@@ -81,8 +84,8 @@ fn main() {
 
     if command == "all" {
         for name in [
-            "theorem1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "scaling", "geo",
-            "outliers", "ablation", "metrics",
+            "theorem1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "scaling", "scalable",
+            "geo", "outliers", "ablation", "metrics",
         ] {
             println!("==================== {name} ====================");
             println!("{}", run_one(name));
@@ -106,7 +109,7 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <theorem1|fig2|fig3|fig4|fig5|fig6|fig7|scaling|geo|outliers|ablation|metrics|all> [--paper] [--seed N] [--metrics-out FILE]"
+        "usage: experiments <theorem1|fig2|fig3|fig4|fig5|fig6|fig7|scaling|scalable|geo|outliers|ablation|metrics|all> [--paper] [--seed N] [--metrics-out FILE]"
     );
     std::process::exit(2);
 }

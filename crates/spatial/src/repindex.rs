@@ -171,19 +171,35 @@ impl RepIndex {
     /// candidate reps — exactly what an ascending-id linear scan with a
     /// strict `<` distance test computes.
     pub fn nearest_owner_sq(&self, query: &[f64], exclude: u32) -> Option<(u32, f64)> {
+        let mut evals = 0u64;
+        self.nearest_owner_sq_counted(query, exclude, &mut evals)
+    }
+
+    /// [`RepIndex::nearest_owner_sq`] that also adds the number of
+    /// rep-point distance evaluations performed to `*evals`. The count is a
+    /// pure function of (index contents, query, exclude) — callers that sum
+    /// it over deterministic work lists get schedule-independent totals.
+    pub fn nearest_owner_sq_counted(
+        &self,
+        query: &[f64],
+        exclude: u32,
+        evals: &mut u64,
+    ) -> Option<(u32, f64)> {
         debug_assert_eq!(query.len(), self.dim);
         let dim = self.dim;
         let mut best_d = f64::INFINITY;
         let mut best_owner = u32::MAX;
         let mut found = false;
 
-        let scan_cell = |cell: usize, best_d: &mut f64, best_owner: &mut u32| {
+        let mut spent = 0u64;
+        let mut scan_cell = |cell: usize, best_d: &mut f64, best_owner: &mut u32| {
             let owners = &self.owners[cell];
             let coords = &self.coords[cell];
             for (slot, &owner) in owners.iter().enumerate() {
                 if owner == exclude {
                     continue;
                 }
+                spent += 1;
                 let d = euclidean_sq(query, &coords[slot * dim..(slot + 1) * dim]);
                 if d < *best_d || (d == *best_d && owner < *best_owner) {
                     *best_d = d;
@@ -219,6 +235,7 @@ impl RepIndex {
                 break; // ring entirely outside the grid: nothing further out
             }
         }
+        *evals += spent;
         if best_owner == u32::MAX {
             None
         } else {

@@ -37,6 +37,12 @@ experiments:
 metrics:
     cargo run --release -p dbs-experiments -- metrics --metrics-out metrics_sample.json
 
+# Partitioned / sample-fed CURE vs the single-phase quadratic loop at
+# 50k/250k/1M points, recorded as BENCH_cure_partitioned.json (includes
+# the 50k full baseline so the speedup is self-contained).
+bench-cure-part:
+    CRITERION_JSON=BENCH_cure_partitioned.json cargo bench -p dbs-bench --bench cure_partitioned
+
 # Averaged-grid estimator A/B: fit + batch query vs KDE and hashed grid
 # at d in {2,3,5}, 100k and 1M points. The recorded BENCH_agrid.json
 # carries the d=5/100k agrid-vs-KDE query comparison (>=5x target).

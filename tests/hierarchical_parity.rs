@@ -9,7 +9,10 @@
 
 use std::num::NonZeroUsize;
 
-use dbs_cluster::{hierarchical_cluster, hierarchical_cluster_reference, HierarchicalConfig};
+use dbs_cluster::{
+    hierarchical_cluster, hierarchical_cluster_reference, partitioned_cluster, sample_target_size,
+    HierarchicalConfig,
+};
 use dbs_core::rng::seeded;
 use dbs_core::Dataset;
 use proptest::prelude::*;
@@ -49,10 +52,11 @@ fn workload(n: usize, dim: usize, seed: u64) -> Dataset {
     ds
 }
 
+/// Assignments plus per-cluster (members, mean bits, representative bits).
+type Fingerprint = (Vec<usize>, Vec<(Vec<usize>, Vec<u64>, Vec<Vec<u64>>)>);
+
 /// Flattens a `Clustering` into comparable bit patterns.
-fn fingerprint(
-    c: &dbs_cluster::Clustering,
-) -> (Vec<usize>, Vec<(Vec<usize>, Vec<u64>, Vec<Vec<u64>>)>) {
+fn fingerprint(c: &dbs_cluster::Clustering) -> Fingerprint {
     let clusters = c
         .clusters
         .iter()
@@ -102,6 +106,45 @@ proptest! {
                         dim,
                         trim_min_size,
                         t
+                    );
+                }
+            }
+        }
+    }
+
+    /// Degenerate scalable paths ≡ the single-phase loop, bit for bit:
+    /// partitioned CURE with `p = 1` (both a trivial and a real phase
+    /// split via `pre_cluster_factor`), and the sample-fed pipeline at
+    /// `sample_frac = 1.0` — a full-size "sample" clustered by the
+    /// partitioned path with no map-back, exactly what the CLI runs.
+    #[test]
+    fn degenerate_scalable_paths_match_single_phase(seed in 0u64..10_000) {
+        for dim in DIMS {
+            let n = if dim == 2 { 500 } else { 250 };
+            let data = workload(n, dim, seed ^ (dim as u64) << 16);
+            prop_assert_eq!(sample_target_size(data.len(), 1.0).expect("valid frac"), data.len());
+            let base = HierarchicalConfig::paper_defaults(4);
+            let single = hierarchical_cluster(
+                &data,
+                &base.clone().with_parallelism(nz(1)),
+            )
+            .expect("single-phase clustering");
+            let want = fingerprint(&single);
+            for t in THREADS {
+                for q in [1usize, 4] {
+                    let cfg = base
+                        .clone()
+                        .with_parallelism(nz(t))
+                        .with_partitions(1)
+                        .with_pre_cluster_factor(q);
+                    let part = partitioned_cluster(&data, &cfg).expect("partitioned clustering");
+                    prop_assert_eq!(
+                        &fingerprint(&part),
+                        &want,
+                        "dim {} threads {} pre_cluster_factor {}",
+                        dim,
+                        t,
+                        q
                     );
                 }
             }
