@@ -19,6 +19,8 @@ pub struct ParsedArgs {
 pub enum Command {
     /// Print dataset shape and bounding box.
     Info,
+    /// Rewrite the input as a columnar shard directory.
+    Convert,
     /// Draw a density-biased (or uniform) sample.
     Sample,
     /// Sample and cluster, reporting cluster summaries.
@@ -33,6 +35,7 @@ impl Command {
     fn from_str(s: &str) -> Option<Command> {
         match s {
             "info" => Some(Command::Info),
+            "convert" => Some(Command::Convert),
             "sample" => Some(Command::Sample),
             "cluster" => Some(Command::Cluster),
             "outliers" => Some(Command::Outliers),
@@ -44,10 +47,20 @@ impl Command {
 
 /// The usage string printed on parse errors.
 pub const USAGE: &str = "\
-usage: dbs <command> <input-file> [options]
+usage: dbs <command> <input> [options]
+
+<input> is a data file (text, or DBS1 binary by .dbs1/.bin extension) or a
+shard directory written by `dbs convert` (auto-detected). Shard directories
+stream through every command in bounded memory; results are byte-identical
+to the same data held in memory.
 
 commands:
   info      print dataset shape and bounding box
+  convert   rewrite the input as a columnar shard directory
+              --output DIR      destination directory (required; created if
+                                missing, must not already contain shards)
+              --shard-points N  points per shard file (positive multiple of
+                                4096; default 1048576)
   sample    draw a density-biased sample
               --size N        target sample size (default 1000)
               --exponent A    bias exponent a (default 1.0; 0 = uniform)

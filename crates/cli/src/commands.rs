@@ -1,8 +1,14 @@
 //! Implementations of the `dbs` subcommands.
 //!
-//! Each command loads the dataset (text or `DBS1` binary by extension),
+//! Each command opens the input — a text file, a `DBS1` binary (streamed,
+//! never materialized), or a shard directory written by `dbs convert` —
 //! min-max normalizes it to the unit cube for estimation — the paper's
 //! canonical domain — and reports results in original coordinates.
+//!
+//! On-disk inputs flow through the same chunked executor passes as
+//! in-memory data, so every command's output is byte-identical across the
+//! three storage backings at every thread count
+//! (`tests/shard_parity.rs` holds the pipeline to that).
 
 use std::io::Write;
 use std::path::Path;
@@ -10,14 +16,96 @@ use std::path::Path;
 use dbs_cluster::{
     partitioned_cluster_obs, sample_fed_cluster_obs, sample_target_size, HierarchicalConfig, NOISE,
 };
-use dbs_core::io::{read_binary, read_text, write_text};
+use dbs_core::io::{read_text, write_text, FileSource};
+use dbs_core::normalize::ScaledSource;
 use dbs_core::obs::Recorder;
-use dbs_core::{BoundingBox, Dataset, MinMaxScaler};
+use dbs_core::{par, shard, BoundingBox, Dataset, MinMaxScaler, PointSource, ShardedSource};
 use dbs_density::{DensityEstimator, EstimatorSpec};
 use dbs_outlier::{approx_outliers_obs, ApproxConfig, DbOutlierParams};
 use dbs_sampling::{density_biased_sample_obs, BiasedConfig};
 
 use crate::args::{Command, ParsedArgs};
+
+/// An opened input: in-memory text data, a streamed binary file, or a
+/// memory-mapped shard directory. Everything downstream works through
+/// [`PointSource`], so the storage backing never changes a result.
+enum Input {
+    Mem(Dataset),
+    File(FileSource),
+    Sharded(ShardedSource),
+}
+
+impl Input {
+    fn source(&self) -> &(dyn PointSource + Sync) {
+        match self {
+            Input::Mem(d) => d,
+            Input::File(f) => f,
+            Input::Sharded(s) => s,
+        }
+    }
+
+    /// Fetches `indices` (in order) in original coordinates: direct row
+    /// copies in memory, cached chunk reads over shards, one selective
+    /// scan for a plain binary file.
+    fn select(&self, indices: &[usize], rec: &Recorder) -> Result<Dataset, String> {
+        match self {
+            Input::Mem(d) => Ok(d.select(indices)),
+            Input::Sharded(s) => s.select(indices, rec).map_err(|e| e.to_string()),
+            Input::File(f) => select_by_scan(f, indices),
+        }
+    }
+}
+
+/// Order-preserving index fetch over a scan-only source: sorts the wanted
+/// indices, streams the source once, and places each hit at its requested
+/// output position.
+fn select_by_scan<S: PointSource + ?Sized>(
+    source: &S,
+    indices: &[usize],
+) -> Result<Dataset, String> {
+    let mut out = Dataset::with_capacity(source.dim(), indices.len());
+    let mut order: Vec<(usize, usize)> = indices.iter().copied().zip(0..).collect();
+    order.sort_unstable();
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); indices.len()];
+    let mut next = 0usize;
+    source
+        .scan(&mut |i, p| {
+            while next < order.len() && order[next].0 == i {
+                rows[order[next].1] = p.to_vec();
+                next += 1;
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    if next < order.len() {
+        return Err(format!(
+            "index {} out of range for {} points",
+            order[next].0,
+            source.len()
+        ));
+    }
+    for row in &rows {
+        out.push(row).map_err(|e| e.to_string())?;
+    }
+    Ok(out)
+}
+
+/// The scaled view of an input: materialized once for in-memory data (the
+/// executor then borrows it zero-copy), lazy for on-disk sources (chunks
+/// are transformed as they stream, keeping the pipeline out-of-core).
+/// Both produce bit-identical point values.
+enum Scaled<'a> {
+    Mem(Dataset),
+    View(ScaledSource<'a, dyn PointSource + Sync + 'a>),
+}
+
+impl Scaled<'_> {
+    fn source(&self) -> &(dyn PointSource + Sync) {
+        match self {
+            Scaled::Mem(d) => d,
+            Scaled::View(v) => v,
+        }
+    }
+}
 
 /// Runs a parsed invocation, writing human-readable output to `out`.
 ///
@@ -31,16 +119,17 @@ pub fn run(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     } else {
         Recorder::disabled()
     };
-    let data = {
+    let input = {
         let _span = rec.span("load");
         load(&args.input)?
     };
     match args.command {
-        Command::Info => info(&data, out),
-        Command::Sample => sample(args, &data, &rec, out),
-        Command::Cluster => cluster(args, &data, &rec, out),
-        Command::Outliers => outliers(args, &data, &rec, out),
-        Command::Density => density(args, &data, &rec, out),
+        Command::Info => info(args, &input, out),
+        Command::Convert => convert(args, &input, &rec, out),
+        Command::Sample => sample(args, &input, &rec, out),
+        Command::Cluster => cluster(args, &input, &rec, out),
+        Command::Outliers => outliers(args, &input, &rec, out),
+        Command::Density => density(args, &input, &rec, out),
     }?;
     if let Some(path) = metrics_path {
         let report = rec.snapshot().expect("recorder enabled when path given");
@@ -50,16 +139,20 @@ pub fn run(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
-fn load(path: &str) -> Result<Dataset, String> {
+fn load(path: &str) -> Result<Input, String> {
     let p = Path::new(path);
-    let result = if p
+    let result = if shard::is_shard_dir(p) {
+        ShardedSource::open(p).map(Input::Sharded)
+    } else if p.is_dir() {
+        return Err(format!("cannot load {path}: directory contains no shards"));
+    } else if p
         .extension()
         .map(|e| e == "dbs1" || e == "bin")
         .unwrap_or(false)
     {
-        read_binary(p)
+        FileSource::open(p).map(Input::File)
     } else {
-        read_text(p)
+        read_text(p).map(Input::Mem)
     };
     result.map_err(|e| format!("cannot load {path}: {e}"))
 }
@@ -68,8 +161,19 @@ fn io_err(e: std::io::Error) -> String {
     format!("write failed: {e}")
 }
 
-fn normalize(data: &Dataset) -> Result<(Dataset, MinMaxScaler), String> {
-    MinMaxScaler::fit_transform(data).map_err(|e| e.to_string())
+/// Fits the unit-cube scaler in one chunked pass over the input —
+/// bit-identical to fitting on the materialized data.
+fn fit_scaler(input: &Input, args: &ParsedArgs) -> Result<MinMaxScaler, String> {
+    MinMaxScaler::fit_source(input.source(), args.get_threads()?).map_err(|e| e.to_string())
+}
+
+/// Builds the scaled view of the input. For in-memory data this is the
+/// familiar fit-and-transform; for on-disk data nothing is materialized.
+fn scale_input<'a>(input: &'a Input, scaler: &'a MinMaxScaler) -> Result<Scaled<'a>, String> {
+    Ok(match input {
+        Input::Mem(d) => Scaled::Mem(scaler.transform(d).map_err(|e| e.to_string())?),
+        _ => Scaled::View(scaler.scaled(input.source()).map_err(|e| e.to_string())?),
+    })
 }
 
 /// Builds the density backend selected by `--estimator` (default `kde`).
@@ -79,7 +183,7 @@ fn normalize(data: &Dataset) -> Result<(Dataset, MinMaxScaler), String> {
 /// their own knobs. Every subcommand shares this factory, so backends are
 /// interchangeable across sample/cluster/outliers/density.
 fn fit_estimator(
-    scaled: &Dataset,
+    scaled: &(dyn PointSource + Sync),
     args: &ParsedArgs,
 ) -> Result<Box<dyn DensityEstimator + Sync>, String> {
     let raw = args.get_str("estimator").unwrap_or("kde");
@@ -94,26 +198,68 @@ fn fit_estimator(
         .map_err(|e| e.to_string())
 }
 
-fn info(data: &Dataset, out: &mut dyn Write) -> Result<(), String> {
-    writeln!(out, "points:     {}", data.len()).map_err(io_err)?;
-    writeln!(out, "dimensions: {}", data.dim()).map_err(io_err)?;
-    if let Some(bb) = data.bounding_box() {
+fn info(args: &ParsedArgs, input: &Input, out: &mut dyn Write) -> Result<(), String> {
+    let source = input.source();
+    writeln!(out, "points:     {}", source.len()).map_err(io_err)?;
+    writeln!(out, "dimensions: {}", source.dim()).map_err(io_err)?;
+    let bb = par::par_bounding_box(source, args.get_threads()?).map_err(|e| e.to_string())?;
+    if let Some(bb) = bb {
         writeln!(out, "min:        {:?}", bb.min()).map_err(io_err)?;
         writeln!(out, "max:        {:?}", bb.max()).map_err(io_err)?;
     }
+    if let Input::Sharded(s) = input {
+        writeln!(
+            out,
+            "shards:     {} ({} memory-mapped, seed {})",
+            s.shard_count(),
+            s.mapped_shards(),
+            s.seed()
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn convert(
+    args: &ParsedArgs,
+    input: &Input,
+    rec: &Recorder,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let dir = args
+        .get_str("output")
+        .ok_or_else(|| "convert requires --output DIR".to_string())?;
+    let shard_points = args.get_usize("shard-points", shard::DEFAULT_SHARD_POINTS)?;
+    let seed = args.get_u64("seed", 0)?;
+    let dir_path = Path::new(dir);
+    std::fs::create_dir_all(dir_path).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let total = {
+        let _span = rec.span("convert");
+        shard::write_shards_with(dir_path, input.source(), seed, shard_points)
+            .map_err(|e| e.to_string())?
+    };
+    writeln!(
+        out,
+        "wrote {total} points ({}d) to {} shards in {dir}",
+        input.source().dim(),
+        total.div_ceil(shard_points as u64)
+    )
+    .map_err(io_err)?;
     Ok(())
 }
 
 fn sample(
     args: &ParsedArgs,
-    data: &Dataset,
+    input: &Input,
     rec: &Recorder,
     out: &mut dyn Write,
 ) -> Result<(), String> {
-    let (scaled, scaler) = normalize(data)?;
+    let scaler = fit_scaler(input, args)?;
+    let scaled = scale_input(input, &scaler)?;
+    let src = scaled.source();
     let est = {
         let _span = rec.span("fit_density");
-        fit_estimator(&scaled, args)?
+        fit_estimator(src, args)?
     };
     let b = args.get_usize("size", 1000)?;
     let a = args.get_f64("exponent", 1.0)?;
@@ -122,20 +268,21 @@ fn sample(
         .with_parallelism(args.get_threads()?);
     let (s, stats) = {
         let _span = rec.span("sample");
-        density_biased_sample_obs(&scaled, &*est, &cfg, rec).map_err(|e| e.to_string())?
+        density_biased_sample_obs(src, &*est, &cfg, rec).map_err(|e| e.to_string())?
     };
     writeln!(
         out,
         "sampled {} of {} points (target {b}, a = {a}, normalizer k = {:.4e}, {} clipped)",
         s.len(),
-        data.len(),
+        input.source().len(),
         stats.normalizer_k,
         stats.clipped
     )
     .map_err(io_err)?;
 
-    // Write points in ORIGINAL coordinates.
-    let original = data.select(s.source_indices());
+    // Write points in ORIGINAL coordinates, fetched back from the raw
+    // input by index (sharded inputs serve this from cached chunk reads).
+    let original = input.select(s.source_indices(), rec)?;
     if let Some(path) = args.get_str("output") {
         write_text(Path::new(path), &original).map_err(|e| e.to_string())?;
         writeln!(out, "wrote sample to {path}").map_err(io_err)?;
@@ -162,17 +309,18 @@ fn sample(
             .map_err(io_err)?;
         }
     }
-    let _ = scaler;
     Ok(())
 }
 
 fn cluster(
     args: &ParsedArgs,
-    data: &Dataset,
+    input: &Input,
     rec: &Recorder,
     out: &mut dyn Write,
 ) -> Result<(), String> {
-    let (scaled, scaler) = normalize(data)?;
+    let scaler = fit_scaler(input, args)?;
+    let scaled = scale_input(input, &scaler)?;
+    let src = scaled.source();
     let a = args.get_f64("exponent", 1.0)?;
     let k = args.get_usize("clusters", 10)?;
     let threads = args.get_threads()?;
@@ -187,27 +335,36 @@ fn cluster(
     // --sample-frac selects the scalable path: cluster an F·n-point
     // density-biased sample, then map every dataset point back to its
     // nearest representative. F = 1.0 clusters the full dataset directly
-    // (no estimator, no sampling, no map-back).
+    // (no estimator, no sampling, no map-back) — the one path that needs
+    // the scaled data materialized, guarded by the collection cap.
     if args.get_str("sample-frac").is_some() {
         let frac = args.get_f64("sample-frac", 1.0)?;
-        let target = sample_target_size(scaled.len(), frac).map_err(|e| e.to_string())?;
-        let clustering = if target == scaled.len() {
+        let target = sample_target_size(src.len(), frac).map_err(|e| e.to_string())?;
+        let clustering = if target == src.len() {
+            let full = match &scaled {
+                Scaled::Mem(d) => std::borrow::Cow::Borrowed(d),
+                Scaled::View(v) => std::borrow::Cow::Owned(
+                    dbs_core::scan::materialize(v).map_err(|e| e.to_string())?,
+                ),
+            };
             let _span = rec.span("cluster");
-            partitioned_cluster_obs(&scaled, &hc, rec).map_err(|e| e.to_string())?
+            partitioned_cluster_obs(&full, &hc, rec).map_err(|e| e.to_string())?
         } else {
             let est = {
                 let _span = rec.span("fit_density");
-                fit_estimator(&scaled, args)?
+                fit_estimator(src, args)?
             };
             let cfg = BiasedConfig::new(target, a)
                 .with_seed(args.get_u64("seed", 0)?)
                 .with_parallelism(threads);
             let (s, _) = {
                 let _span = rec.span("sample");
-                density_biased_sample_obs(&scaled, &*est, &cfg, rec).map_err(|e| e.to_string())?
+                density_biased_sample_obs(src, &*est, &cfg, rec).map_err(|e| e.to_string())?
             };
+            // Map-back streams the full (scaled) source chunk by chunk, so
+            // a sharded input stays out-of-core end to end.
             let _span = rec.span("cluster");
-            sample_fed_cluster_obs(&scaled, s.points(), &hc, rec).map_err(|e| e.to_string())?
+            sample_fed_cluster_obs(src, s.points(), &hc, rec).map_err(|e| e.to_string())?
         };
         let noise = clustering
             .assignments
@@ -217,7 +374,7 @@ fn cluster(
         writeln!(
             out,
             "clustered {} points from a {target}-point sample into {} clusters ({} points marked noise)",
-            scaled.len(),
+            src.len(),
             clustering.clusters.len(),
             noise
         )
@@ -240,7 +397,7 @@ fn cluster(
 
     let est = {
         let _span = rec.span("fit_density");
-        fit_estimator(&scaled, args)?
+        fit_estimator(src, args)?
     };
     let b = args.get_usize("size", 1000)?;
     let cfg = BiasedConfig::new(b, a)
@@ -248,7 +405,7 @@ fn cluster(
         .with_parallelism(threads);
     let (s, _) = {
         let _span = rec.span("sample");
-        density_biased_sample_obs(&scaled, &*est, &cfg, rec).map_err(|e| e.to_string())?
+        density_biased_sample_obs(src, &*est, &cfg, rec).map_err(|e| e.to_string())?
     };
     let clustering = {
         let _span = rec.span("cluster");
@@ -289,14 +446,16 @@ fn cluster(
 
 fn outliers(
     args: &ParsedArgs,
-    data: &Dataset,
+    input: &Input,
     rec: &Recorder,
     out: &mut dyn Write,
 ) -> Result<(), String> {
-    let (scaled, scaler) = normalize(data)?;
+    let scaler = fit_scaler(input, args)?;
+    let scaled = scale_input(input, &scaler)?;
+    let src = scaled.source();
     let est = {
         let _span = rec.span("fit_density");
-        fit_estimator(&scaled, args)?
+        fit_estimator(src, args)?
     };
     let radius = args.get_f64("radius", 0.05)?;
     let p = args.get_usize("neighbors", 3)?;
@@ -307,7 +466,7 @@ fn outliers(
     cfg.parallelism = args.get_threads()?;
     let report = {
         let _span = rec.span("outliers");
-        approx_outliers_obs(&scaled, &*est, &cfg, rec).map_err(|e| e.to_string())?
+        approx_outliers_obs(src, &*est, &cfg, rec).map_err(|e| e.to_string())?
     };
     writeln!(
         out,
@@ -317,36 +476,39 @@ fn outliers(
         report.passes
     )
     .map_err(io_err)?;
-    for &i in &report.outliers {
-        let mut point = scaled.point(i).to_vec();
-        scaler.inverse_point(&mut point);
-        writeln!(out, "  #{i}: {point:?}").map_err(io_err)?;
+    // Report outliers in original coordinates via the scaled round trip —
+    // the same values the detector saw, mapped back.
+    let found = input.select(&report.outliers, rec)?;
+    let mut scratch = vec![0.0f64; found.dim().max(1)];
+    for (row, &i) in report.outliers.iter().enumerate() {
+        scratch.copy_from_slice(found.point(row));
+        scaler.transform_point(&mut scratch);
+        scaler.inverse_point(&mut scratch);
+        writeln!(out, "  #{i}: {scratch:?}").map_err(io_err)?;
     }
     Ok(())
 }
 
 fn density(
     args: &ParsedArgs,
-    data: &Dataset,
+    input: &Input,
     rec: &Recorder,
     out: &mut dyn Write,
 ) -> Result<(), String> {
-    let (scaled, scaler) = normalize(data)?;
+    let scaler = fit_scaler(input, args)?;
+    let scaled = scale_input(input, &scaler)?;
     let est = {
         let _span = rec.span("fit_density");
-        fit_estimator(&scaled, args)?
+        fit_estimator(scaled.source(), args)?
     };
-    // Single-point evaluation has no batch to spread across workers, but
-    // the option is still validated so `--threads 0` fails uniformly.
-    args.get_threads()?;
     let at = args
         .get_point("at")?
         .ok_or_else(|| "density requires --at X,Y,...".to_string())?;
-    if at.len() != data.dim() {
+    if at.len() != input.source().dim() {
         return Err(format!(
             "--at has {} coordinates, data has {}",
             at.len(),
-            data.dim()
+            input.source().dim()
         ));
     }
     let mut q = at.clone();
@@ -690,6 +852,98 @@ mod tests {
         let mut out = Vec::new();
         let err = run(&parsed, &mut out).unwrap_err();
         assert!(err.contains("cannot load"));
+    }
+
+    fn shard_dir(name: &str) -> String {
+        let mut path = std::env::temp_dir();
+        path.push(format!("dbs_cli_{}_{}_shards", std::process::id(), name));
+        std::fs::remove_dir_all(&path).ok();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn convert_writes_shards_and_info_reads_them() {
+        let file = write_sample_file("convert");
+        let dir = shard_dir("convert");
+        let output = run_cli(&["convert", &file, "--output", &dir, "--shard-points", "4096"]);
+        assert_eq!(
+            output,
+            format!("wrote 601 points (2d) to 1 shards in {dir}\n")
+        );
+        let info = run_cli(&["info", &dir]);
+        assert!(info.contains("points:     601"), "{info}");
+        assert!(info.contains("dimensions: 2"), "{info}");
+        assert!(info.contains("shards:     1"), "{info}");
+        // Refuses to overwrite an existing shard directory.
+        let args: Vec<String> = ["convert", &file, "--output", &dir]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = run(&parse(&args).unwrap(), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("already contains"), "{err}");
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_input_is_byte_identical_to_text_input() {
+        let file = write_sample_file("shard_parity");
+        let dir = shard_dir("shard_parity");
+        run_cli(&["convert", &file, "--output", &dir]);
+        // The same pipeline over the text file (in-memory path) and the
+        // shard directory (mmap chunk-read path) must print byte-identical
+        // results, sampled points included.
+        let cases: Vec<Vec<&str>> = vec![
+            vec!["sample", "--size", "100", "--estimator", "agrid:4"],
+            vec![
+                "cluster",
+                "--clusters",
+                "2",
+                "--sample-frac",
+                "0.2",
+                "--estimator",
+                "agrid:4",
+            ],
+            vec![
+                "outliers",
+                "--radius",
+                "0.1",
+                "--neighbors",
+                "2",
+                "--kernels",
+                "200",
+                "--slack",
+                "10",
+            ],
+        ];
+        for case in &cases {
+            for threads in ["1", "7"] {
+                let assemble = |input: &str| {
+                    let mut argv = vec![case[0], input];
+                    argv.extend_from_slice(&case[1..]);
+                    argv.extend_from_slice(&["--threads", threads]);
+                    run_cli(&argv)
+                };
+                let from_text = assemble(&file);
+                let from_shards = assemble(&dir);
+                assert_eq!(
+                    from_text, from_shards,
+                    "{} diverged over shards (threads {threads})",
+                    case[0]
+                );
+            }
+        }
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn convert_requires_output() {
+        let file = write_sample_file("convert_noout");
+        let args: Vec<String> = ["convert", &file].iter().map(|s| s.to_string()).collect();
+        let err = run(&parse(&args).unwrap(), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--output"), "{err}");
+        std::fs::remove_file(&file).ok();
     }
 
     #[test]

@@ -53,7 +53,7 @@ use std::num::NonZeroUsize;
 
 use dbs_core::metric::euclidean_sq;
 use dbs_core::obs::{Counter, Recorder, Tally};
-use dbs_core::{par, BoundingBox, Dataset, Error, Result};
+use dbs_core::{par, BoundingBox, Dataset, Error, PointSource, Result};
 use dbs_spatial::RepIndex;
 
 use crate::hierarchical::{
@@ -329,8 +329,12 @@ fn calibrated_noise_threshold_sq(sample: &Dataset, clustering: &Clustering) -> O
 /// original point, members/means are recomputed from the full dataset, and
 /// representatives are the sample clusters' (they summarize cluster shape,
 /// which is what the §4.3 evaluation inspects).
-pub fn sample_fed_cluster(
-    full: &Dataset,
+///
+/// `full` is any [`PointSource`] — an in-memory [`Dataset`], a binary file,
+/// or a shard directory — and is only ever read through the executor's
+/// chunked passes, so a 10M-point map-back never materializes the data.
+pub fn sample_fed_cluster<S: PointSource + ?Sized>(
+    full: &S,
     sample: &Dataset,
     config: &HierarchicalConfig,
 ) -> Result<Clustering> {
@@ -339,8 +343,8 @@ pub fn sample_fed_cluster(
 
 /// [`sample_fed_cluster`] with metrics (adds [`Counter::MapBackDistEvals`]
 /// on top of the partitioned counters).
-pub fn sample_fed_cluster_obs(
-    full: &Dataset,
+pub fn sample_fed_cluster_obs<S: PointSource + ?Sized>(
+    full: &S,
     sample: &Dataset,
     config: &HierarchicalConfig,
     recorder: &Recorder,
@@ -381,8 +385,10 @@ pub fn sample_fed_cluster_obs(
 /// representatives are carried over from `source`. A source cluster that
 /// attracts no points keeps its mean and an empty member list, so cluster
 /// ids stay aligned with `source`.
-pub fn map_back_labels(
-    full: &Dataset,
+///
+/// `full` may be any [`PointSource`]; the pass streams it chunk by chunk.
+pub fn map_back_labels<S: PointSource + ?Sized>(
+    full: &S,
     source: &Clustering,
     noise_threshold_sq: Option<f64>,
     threads: NonZeroUsize,
@@ -397,8 +403,8 @@ pub fn map_back_labels(
 }
 
 /// [`map_back_labels`] with metrics ([`Counter::MapBackDistEvals`]).
-pub fn map_back_labels_obs(
-    full: &Dataset,
+pub fn map_back_labels_obs<S: PointSource + ?Sized>(
+    full: &S,
     source: &Clustering,
     noise_threshold_sq: Option<f64>,
     threads: NonZeroUsize,
@@ -410,8 +416,8 @@ pub fn map_back_labels_obs(
     Ok(out)
 }
 
-fn map_back(
-    full: &Dataset,
+fn map_back<S: PointSource + ?Sized>(
+    full: &S,
     source: &Clustering,
     noise_threshold_sq: Option<f64>,
     threads: NonZeroUsize,
@@ -419,7 +425,7 @@ fn map_back(
 ) -> Result<Clustering> {
     let n = full.len();
     let dim = full.dim();
-    let Some(mut domain) = full.bounding_box() else {
+    let Some(mut domain) = par::par_bounding_box(full, threads)? else {
         return Err(Error::InvalidParameter(
             "cannot map back onto an empty dataset".into(),
         ));
@@ -455,39 +461,69 @@ fn map_back(
         index.insert_all(id as u32, &c.representatives);
     }
 
-    // One exact nearest-owner query per point. The per-point result (and
-    // its eval count) is a pure function of (index, point), and u64
-    // addition is associative, so the assignment vector and the counter
-    // total are identical at every thread count.
-    let hits: Vec<(u32, u64)> = par::par_indices(n, threads, |i| {
-        let mut evals = 0u64;
-        let hit = index.nearest_owner_sq_counted(full.point(i), u32::MAX, &mut evals);
-        let id = match hit {
-            Some((owner, d)) if noise_threshold_sq.is_none_or(|t| d <= t) => owner,
-            _ => u32::MAX,
-        };
-        (id, evals)
-    });
-    tally.add(
-        Counter::MapBackDistEvals,
-        hits.iter().map(|&(_, e)| e).sum(),
-    );
-
+    // One exact nearest-owner query per point, in a single chunked pass
+    // over `full` (the only pass that touches the point data, so sharded
+    // sources stream through without materializing). Each chunk assigns
+    // its points and folds per-cluster coordinate sums locally; chunk
+    // results merge in chunk order on the fixed grid, so assignments,
+    // means and eval counts are identical at every thread count and for
+    // every storage backing.
     let k = source.clusters.len();
+    struct MapBackChunk {
+        ids: Vec<u32>,
+        evals: u64,
+        /// Sparse per-cluster partial sums: `(cluster, coordinate sums)`.
+        sums: Vec<(usize, Vec<f64>)>,
+    }
+    let chunks = par::par_scan(full, threads, |range, block| {
+        let mut ids = Vec::with_capacity(range.len());
+        let mut evals = 0u64;
+        let mut local: Vec<Option<Vec<f64>>> = vec![None; k];
+        for i in range {
+            let p = block.point(i);
+            let hit = index.nearest_owner_sq_counted(p, u32::MAX, &mut evals);
+            let id = match hit {
+                Some((owner, d)) if noise_threshold_sq.is_none_or(|t| d <= t) => owner,
+                _ => u32::MAX,
+            };
+            ids.push(id);
+            if id != u32::MAX {
+                let sum = local[id as usize].get_or_insert_with(|| vec![0.0; dim]);
+                for j in 0..dim {
+                    sum[j] += p[j];
+                }
+            }
+        }
+        let sums = local
+            .into_iter()
+            .enumerate()
+            .filter_map(|(ci, s)| s.map(|s| (ci, s)))
+            .collect();
+        MapBackChunk { ids, evals, sums }
+    })?;
+
     let mut assignments = vec![NOISE; n];
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
     let mut sums: Vec<Vec<f64>> = vec![vec![0.0; dim]; k];
-    for (i, &(id, _)) in hits.iter().enumerate() {
-        if id != u32::MAX {
-            let id = id as usize;
-            assignments[i] = id;
-            members[id].push(i);
-            let p = full.point(i);
-            for j in 0..dim {
-                sums[id][j] += p[j];
+    let mut evals = 0u64;
+    let mut base = 0usize;
+    for chunk in chunks {
+        evals += chunk.evals;
+        for (off, &id) in chunk.ids.iter().enumerate() {
+            if id != u32::MAX {
+                let i = base + off;
+                assignments[i] = id as usize;
+                members[id as usize].push(i);
             }
         }
+        for (ci, partial) in chunk.sums {
+            for j in 0..dim {
+                sums[ci][j] += partial[j];
+            }
+        }
+        base += chunk.ids.len();
     }
+    tally.add(Counter::MapBackDistEvals, evals);
     let clusters: Vec<FoundCluster> = source
         .clusters
         .iter()

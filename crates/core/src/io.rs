@@ -42,11 +42,19 @@ pub fn write_text(path: &Path, data: &Dataset) -> Result<()> {
 /// commas; empty lines and lines starting with `#` are skipped. All rows
 /// must have the same number of values.
 pub fn read_text(path: &Path) -> Result<Dataset> {
-    let reader = BufReader::new(File::open(path)?);
+    let mut reader = BufReader::new(File::open(path)?);
     let mut ds: Option<Dataset> = None;
     let mut row: Vec<f64> = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
+    // One line buffer for the whole pass: `lines()` would allocate a fresh
+    // `String` per line, which dominates parsing on large files.
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
@@ -57,7 +65,7 @@ pub fn read_text(path: &Path) -> Result<Dataset> {
                 continue;
             }
             let v: f64 = tok.parse().map_err(|_| Error::Parse {
-                line: lineno + 1,
+                line: lineno,
                 message: format!("not a number: {tok:?}"),
             })?;
             row.push(v);
@@ -70,7 +78,7 @@ pub fn read_text(path: &Path) -> Result<Dataset> {
             }
             Some(d) => {
                 d.push(&row).map_err(|_| Error::Parse {
-                    line: lineno + 1,
+                    line: lineno,
                     message: format!("row has {} values, expected {}", row.len(), d.dim()),
                 })?;
             }
@@ -162,7 +170,10 @@ impl PointSource for FileSource {
     }
 
     fn scan(&self, visit: &mut dyn FnMut(usize, &[f64])) -> Result<()> {
-        let mut r = BufReader::with_capacity(1 << 16, File::open(&self.path)?);
+        // Size the reader for wide rows: at least a few whole points per
+        // refill even at high dimension, without shrinking below 64 KiB.
+        let capacity = (1 << 16).max(self.dim * 8 * 64);
+        let mut r = BufReader::with_capacity(capacity, File::open(&self.path)?);
         let (dim, len) = read_header(&mut r)?;
         if dim != self.dim || len != self.len {
             return Err(Error::Parse {
@@ -170,12 +181,15 @@ impl PointSource for FileSource {
                 message: "file changed since open".into(),
             });
         }
+        // One point-sized byte buffer and one decoded point, both reused
+        // across the pass: a single `read_exact` per point instead of one
+        // per coordinate.
         let mut point = vec![0.0f64; dim];
-        let mut buf = [0u8; 8];
+        let mut raw = vec![0u8; dim * 8];
         for i in 0..len {
-            for v in point.iter_mut() {
-                r.read_exact(&mut buf)?;
-                *v = f64::from_le_bytes(buf);
+            r.read_exact(&mut raw)?;
+            for (v, b) in point.iter_mut().zip(raw.chunks_exact(8)) {
+                *v = f64::from_le_bytes(b.try_into().expect("8 bytes"));
             }
             visit(i, &point);
         }

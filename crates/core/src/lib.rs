@@ -28,6 +28,10 @@
 //! * [`obs`] — the deterministic observability layer: named monotonic
 //!   counters and hierarchical timing spans, merged per par-chunk in chunk
 //!   order so enabling metrics never changes any computed output.
+//! * [`shard`] — the out-of-core storage engine: columnar on-disk shards
+//!   aligned to the executor's chunk grid, read back memory-mapped (or via
+//!   buffered positional reads) as a [`ShardedSource`] whose pipeline
+//!   outputs are byte-identical to the in-memory path.
 
 // Numeric-kernel loops in this crate index several parallel slices at once,
 // and NaN-rejecting guards are written as negated comparisons on purpose.
@@ -42,6 +46,7 @@ pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod scan;
+pub mod shard;
 pub mod stats;
 pub mod weighted;
 
@@ -50,5 +55,6 @@ pub use dataset::Dataset;
 pub use error::{Error, Result};
 pub use metric::Metric;
 pub use normalize::MinMaxScaler;
-pub use scan::PointSource;
+pub use scan::{ChunkAccess, PointBlock, PointSource};
+pub use shard::ShardedSource;
 pub use weighted::WeightedSample;

@@ -5,8 +5,13 @@
 //! exactly that scaling and can invert it to report results in the original
 //! coordinates.
 
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
 use crate::dataset::Dataset;
 use crate::error::{Error, Result};
+use crate::obs::Tally;
+use crate::scan::{ChunkAccess, PointSource};
 
 /// Per-dimension affine map onto `[0,1]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +105,111 @@ impl MinMaxScaler {
         let scaled = scaler.transform(data)?;
         Ok((scaled, scaler))
     }
+
+    /// Learns the per-dimension min/max of `source` in one chunked parallel
+    /// pass, without materializing it.
+    ///
+    /// Min/max merging is exactly associative, so the fitted scaler is
+    /// bit-identical to [`MinMaxScaler::fit`] on the materialized data, at
+    /// every thread count and for every storage backing.
+    pub fn fit_source<S: PointSource + ?Sized>(source: &S, threads: NonZeroUsize) -> Result<Self> {
+        let bb = crate::par::par_bounding_box(source, threads)?
+            .ok_or_else(|| Error::InvalidParameter("cannot fit scaler on empty dataset".into()))?;
+        let mins = bb.min().to_vec();
+        let ranges = (0..source.dim())
+            .map(|j| {
+                let r = bb.max()[j] - bb.min()[j];
+                if r > 0.0 {
+                    r
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(MinMaxScaler { mins, ranges })
+    }
+
+    /// Wraps `source` as a lazily-scaled view: every point read through it
+    /// comes out transformed into `[0,1]^d`, whether by sequential scan or
+    /// by the executor's chunk reads. Point values are bit-identical to
+    /// materializing `source` and calling [`MinMaxScaler::transform`] —
+    /// the same per-coordinate operations in the same order.
+    pub fn scaled<'a, S: PointSource + Sync + ?Sized>(
+        &'a self,
+        source: &'a S,
+    ) -> Result<ScaledSource<'a, S>> {
+        if source.dim() != self.dim() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dim(),
+                got: source.dim(),
+            });
+        }
+        Ok(ScaledSource {
+            scaler: self,
+            inner: source,
+        })
+    }
+}
+
+/// A [`PointSource`] adapter applying a fitted [`MinMaxScaler`] to every
+/// point on the way out (see [`MinMaxScaler::scaled`]). Forwards the
+/// chunk-read backing of its inner source, transforming each chunk buffer
+/// in place, so sharded sources stay out-of-core through normalization.
+pub struct ScaledSource<'a, S: PointSource + Sync + ?Sized> {
+    scaler: &'a MinMaxScaler,
+    inner: &'a S,
+}
+
+impl<S: PointSource + Sync + ?Sized> PointSource for ScaledSource<'_, S> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn scan(&self, visit: &mut dyn FnMut(usize, &[f64])) -> Result<()> {
+        let mut buf = vec![0.0f64; self.inner.dim()];
+        self.inner.scan(&mut |i, p| {
+            buf.copy_from_slice(p);
+            self.scaler.transform_point(&mut buf);
+            visit(i, &buf);
+        })
+    }
+
+    fn as_chunks(&self) -> Option<&dyn ChunkAccess> {
+        // Only a chunk-capable inner source makes the adapter chunk-capable;
+        // otherwise the executor materializes the scaled scan as before.
+        self.inner.as_chunks().is_some().then_some(self)
+    }
+}
+
+impl<S: PointSource + Sync + ?Sized> ChunkAccess for ScaledSource<'_, S> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn read_points_into(
+        &self,
+        range: Range<usize>,
+        buf: &mut Vec<f64>,
+        tally: &mut Tally,
+    ) -> Result<()> {
+        let chunks = self
+            .inner
+            .as_chunks()
+            .expect("chunk-capable adapter requires a chunk-capable inner source");
+        chunks.read_points_into(range, buf, tally)?;
+        for p in buf.chunks_exact_mut(self.scaler.dim()) {
+            self.scaler.transform_point(p);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +256,25 @@ mod tests {
     #[test]
     fn fit_rejects_empty() {
         assert!(MinMaxScaler::fit(&Dataset::new(2)).is_err());
+    }
+
+    #[test]
+    fn fit_source_matches_fit_and_scaled_view_matches_transform() {
+        let rows: Vec<Vec<f64>> = (0..5000)
+            .map(|i| vec![i as f64 * 0.25 - 100.0, (i % 37) as f64])
+            .collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let fitted = MinMaxScaler::fit(&ds).unwrap();
+        for threads in [1, 2, 7] {
+            let from_source =
+                MinMaxScaler::fit_source(&ds, NonZeroUsize::new(threads).unwrap()).unwrap();
+            assert_eq!(from_source, fitted, "threads = {threads}");
+        }
+        let want = fitted.transform(&ds).unwrap();
+        let view = fitted.scaled(&ds).unwrap();
+        assert_eq!(view.collect_dataset().unwrap(), want);
+        let other = Dataset::from_rows(&[vec![0.0]]).unwrap();
+        assert!(fitted.scaled(&other).is_err());
     }
 
     #[test]

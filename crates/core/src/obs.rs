@@ -79,10 +79,15 @@ pub enum Counter {
     /// Rep-point distance evaluations spent assigning full-dataset points
     /// to their nearest representative during label map-back.
     MapBackDistEvals,
+    /// Chunk-read operations served by sharded storage (one per chunk a
+    /// worker pulled through [`crate::scan::ChunkAccess`]).
+    ShardChunkReads,
+    /// Bytes delivered out of mapped (or positionally read) shard storage.
+    ShardBytesMapped,
 }
 
 /// Number of counters in the catalog.
-pub const COUNTER_COUNT: usize = 18;
+pub const COUNTER_COUNT: usize = 20;
 
 impl Counter {
     /// Every counter, in catalog (discriminant) order.
@@ -105,6 +110,8 @@ impl Counter {
         Counter::AgridGridsAveraged,
         Counter::PartitionPreMerges,
         Counter::MapBackDistEvals,
+        Counter::ShardChunkReads,
+        Counter::ShardBytesMapped,
     ];
 
     /// The counter's stable snake_case name (the JSON key).
@@ -128,6 +135,8 @@ impl Counter {
             Counter::AgridGridsAveraged => "agrid_grids_averaged",
             Counter::PartitionPreMerges => "partition_pre_merges",
             Counter::MapBackDistEvals => "map_back_dist_evals",
+            Counter::ShardChunkReads => "shard_chunk_reads",
+            Counter::ShardBytesMapped => "shard_bytes_mapped",
         }
     }
 }

@@ -21,22 +21,35 @@
 //! [`std::num::NonZeroUsize`] knob and tests can assert equality outright
 //! (see `tests/parallel_parity.rs` at the workspace root).
 //!
-//! Sources are never shared across threads: the executor borrows the backing
-//! [`Dataset`] via [`PointSource::as_dataset`] when one exists, and
-//! otherwise materializes the source with one (pass-counted) sequential
-//! scan. Only the resulting `&Dataset` — which is `Sync` — crosses thread
-//! boundaries, so `PointSource` implementations need no thread-safety of
-//! their own.
+//! Chunks reach workers through one of three backings, in preference
+//! order:
+//!
+//! 1. **Borrowed** — [`PointSource::as_dataset`]: every chunk is a zero-copy
+//!    [`PointBlock`] view into the shared in-memory buffer.
+//! 2. **Chunk-read** — [`PointSource::as_chunks`]: each worker owns one
+//!    reusable chunk buffer and fills it via
+//!    [`ChunkAccess::read_points_into`], so peak memory is
+//!    `workers x CHUNK_POINTS x dim` regardless of the dataset size. This
+//!    is how memory-mapped shard directories ([`crate::shard`]) flow
+//!    through every parallel algorithm out-of-core.
+//! 3. **Materialized** — neither view exists (plain files, pass-counted
+//!    wrappers): one (pass-counted, cap-checked) sequential scan buffers
+//!    the source, then proceeds as 1.
+//!
+//! All three produce the same blocks over the same chunk grid in the same
+//! merge order, so which backing served a scan is unobservable in the
+//! results — `tests/shard_parity.rs` asserts exactly that.
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::bbox::BoundingBox;
 use crate::dataset::Dataset;
 use crate::error::Result;
 use crate::obs::{Recorder, Tally};
-use crate::scan::PointSource;
+use crate::scan::{ChunkAccess, PointBlock, PointSource};
 
 /// Points per work chunk. Fixed — *never* derived from the thread count —
 /// so the chunk grid (and therefore any chunk-ordered merge) is identical
@@ -54,19 +67,31 @@ pub fn serial() -> NonZeroUsize {
     NonZeroUsize::MIN
 }
 
-/// Borrows the dataset behind `source`, or buffers it with one sequential
-/// scan (counted by pass-counting wrappers) when there is none.
-fn backing_dataset<S: PointSource + ?Sized>(source: &S) -> Result<std::borrow::Cow<'_, Dataset>> {
-    match source.as_dataset() {
-        Some(ds) => Ok(std::borrow::Cow::Borrowed(ds)),
-        None => Ok(std::borrow::Cow::Owned(source.collect_dataset()?)),
+/// How a scan reaches its points: a shared in-memory buffer (borrowed or
+/// materialized) or per-worker chunk reads.
+enum Backing<'a> {
+    Mem(std::borrow::Cow<'a, Dataset>),
+    Chunks(&'a dyn ChunkAccess),
+}
+
+/// Picks the backing for `source` in preference order (module docs).
+fn backing_of<S: PointSource + ?Sized>(source: &S) -> Result<Backing<'_>> {
+    if let Some(ds) = source.as_dataset() {
+        return Ok(Backing::Mem(std::borrow::Cow::Borrowed(ds)));
     }
+    if let Some(ca) = source.as_chunks() {
+        return Ok(Backing::Chunks(ca));
+    }
+    Ok(Backing::Mem(std::borrow::Cow::Owned(
+        source.collect_dataset()?,
+    )))
 }
 
 /// The chunked parallel scan: applies `per_chunk` to every chunk of
 /// [`CHUNK_POINTS`] consecutive point indices and returns the results in
-/// chunk order. `per_chunk` receives the chunk's index range and the
-/// backing dataset.
+/// chunk order. `per_chunk` receives the chunk's index range and a
+/// [`PointBlock`] holding exactly those points (addressed by global
+/// index).
 ///
 /// This is the primitive under [`par_map`] and friends; call it directly
 /// when a single pass must produce several things at once (e.g. sampled
@@ -77,9 +102,12 @@ pub fn par_scan<S, T, F>(source: &S, threads: NonZeroUsize, per_chunk: F) -> Res
 where
     S: PointSource + ?Sized,
     T: Send,
-    F: Fn(Range<usize>, &Dataset) -> T + Sync,
+    F: Fn(Range<usize>, &PointBlock) -> T + Sync,
 {
-    scan_chunks(source, threads, CHUNK_POINTS, per_chunk)
+    let pairs = scan_chunks(source, threads, CHUNK_POINTS, |range, block, _| {
+        per_chunk(range, block)
+    })?;
+    Ok(pairs.into_iter().map(|(out, _)| out).collect())
 }
 
 /// [`par_scan`] with a per-chunk [`Tally`] for operation counting: each
@@ -103,13 +131,9 @@ pub fn par_scan_tallied<S, T, F>(
 where
     S: PointSource + ?Sized,
     T: Send,
-    F: Fn(Range<usize>, &Dataset, &mut Tally) -> T + Sync,
+    F: Fn(Range<usize>, &PointBlock, &mut Tally) -> T + Sync,
 {
-    let pairs = scan_chunks(source, threads, CHUNK_POINTS, |range, ds| {
-        let mut tally = Tally::default();
-        let out = per_chunk(range, ds, &mut tally);
-        (out, tally)
-    })?;
+    let pairs = scan_chunks(source, threads, CHUNK_POINTS, per_chunk)?;
     let mut results = Vec::with_capacity(pairs.len());
     if recorder.is_enabled() {
         let mut total = Tally::default();
@@ -126,21 +150,26 @@ where
 
 /// [`par_scan`] with an explicit chunk size (kept non-public: a caller-chosen
 /// chunk size would let two call sites disagree on the chunk grid; tests use
-/// it to exercise multi-chunk merging on small data).
+/// it to exercise multi-chunk merging on small data). Returns per-chunk
+/// results paired with per-chunk tallies, both in chunk order; chunk-read
+/// backings record their I/O counts into the chunk's tally, so even storage
+/// counters are identical at every thread count.
 fn scan_chunks<S, T, F>(
     source: &S,
     threads: NonZeroUsize,
     chunk_points: usize,
     per_chunk: F,
-) -> Result<Vec<T>>
+) -> Result<Vec<(T, Tally)>>
 where
     S: PointSource + ?Sized,
     T: Send,
-    F: Fn(Range<usize>, &Dataset) -> T + Sync,
+    F: Fn(Range<usize>, &PointBlock, &mut Tally) -> T + Sync,
 {
-    let ds = backing_dataset(source)?;
-    let ds: &Dataset = &ds;
-    let n = ds.len();
+    let backing = backing_of(source)?;
+    let (n, dim) = match &backing {
+        Backing::Mem(ds) => (ds.len(), ds.dim()),
+        Backing::Chunks(ca) => (ca.len(), ca.dim()),
+    };
     if n == 0 {
         return Ok(Vec::new());
     }
@@ -148,35 +177,62 @@ where
     let chunks = n.div_ceil(chunk_points);
     let chunk_range = |c: usize| c * chunk_points..((c + 1) * chunk_points).min(n);
 
+    // One chunk's worth of work, with `buf` the calling worker's reusable
+    // chunk buffer (untouched by the borrowed/materialized backing).
+    let run_chunk = |c: usize, buf: &mut Vec<f64>| -> Result<(T, Tally)> {
+        let range = chunk_range(c);
+        let mut tally = Tally::default();
+        let out = match &backing {
+            Backing::Mem(ds) => {
+                let block = PointBlock::from_dataset(ds, range.clone());
+                per_chunk(range, &block, &mut tally)
+            }
+            Backing::Chunks(ca) => {
+                ca.read_points_into(range.clone(), buf, &mut tally)?;
+                debug_assert_eq!(buf.len(), range.len() * dim);
+                let block = PointBlock::from_flat(range.start, dim, buf);
+                per_chunk(range, &block, &mut tally)
+            }
+        };
+        Ok((out, tally))
+    };
+
     let workers = threads.get().min(chunks);
     if workers == 1 {
         // In-thread fast path; identical to the threaded path by
         // construction (same chunk grid, same in-chunk order, chunk-ordered
         // merge).
-        return Ok((0..chunks).map(|c| per_chunk(chunk_range(c), ds)).collect());
+        let mut buf = Vec::new();
+        return (0..chunks).map(|c| run_chunk(c, &mut buf)).collect();
     }
 
+    type Slot<T> = (usize, Result<(T, Tally)>);
     let cursor = AtomicUsize::new(0);
-    let slots: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(chunks));
+    let slots: Mutex<Vec<Slot<T>>> = Mutex::new(Vec::with_capacity(chunks));
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let c = cursor.fetch_add(1, Ordering::Relaxed);
-                if c >= chunks {
-                    return;
+            scope.spawn(|| {
+                let mut buf = Vec::new();
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks {
+                        return;
+                    }
+                    let out = run_chunk(c, &mut buf);
+                    slots
+                        .lock()
+                        .expect("no poisoned chunk collector")
+                        .push((c, out));
                 }
-                let out = per_chunk(chunk_range(c), ds);
-                slots
-                    .lock()
-                    .expect("no poisoned chunk collector")
-                    .push((c, out));
             });
         }
     });
     let mut slots = slots.into_inner().expect("workers joined");
     slots.sort_unstable_by_key(|&(c, _)| c);
     debug_assert_eq!(slots.len(), chunks);
-    Ok(slots.into_iter().map(|(_, t)| t).collect())
+    // Chunk-ordered error propagation: the error reported is the one from
+    // the lowest failing chunk, independent of scheduling.
+    slots.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Applies `map(index, point)` to every point and returns the results in
@@ -192,10 +248,10 @@ where
     T: Send,
     F: Fn(usize, &[f64]) -> T + Sync,
 {
-    let nested = scan_chunks(source, threads, CHUNK_POINTS, |range, ds| {
-        range.map(|i| map(i, ds.point(i))).collect::<Vec<T>>()
+    let nested = scan_chunks(source, threads, CHUNK_POINTS, |range, block, _| {
+        range.map(|i| map(i, block.point(i))).collect::<Vec<T>>()
     })?;
-    Ok(nested.into_iter().flatten().collect())
+    Ok(nested.into_iter().flat_map(|(v, _)| v).collect())
 }
 
 /// Like [`par_map`], keeping only points where `map` returns `Some` —
@@ -206,12 +262,12 @@ where
     T: Send,
     F: Fn(usize, &[f64]) -> Option<T> + Sync,
 {
-    let nested = scan_chunks(source, threads, CHUNK_POINTS, |range, ds| {
+    let nested = scan_chunks(source, threads, CHUNK_POINTS, |range, block, _| {
         range
-            .filter_map(|i| map(i, ds.point(i)))
+            .filter_map(|i| map(i, block.point(i)))
             .collect::<Vec<T>>()
     })?;
-    Ok(nested.into_iter().flatten().collect())
+    Ok(nested.into_iter().flat_map(|(v, _)| v).collect())
 }
 
 /// Maps every point to an accumulator and reduces: in index order within a
@@ -236,10 +292,57 @@ where
     M: Fn(usize, &[f64]) -> A + Sync,
     R: Fn(A, A) -> A + Sync,
 {
-    let per_chunk = scan_chunks(source, threads, CHUNK_POINTS, |range, ds| {
-        range.fold(identity.clone(), |acc, i| reduce(acc, map(i, ds.point(i))))
+    let per_chunk = scan_chunks(source, threads, CHUNK_POINTS, |range, block, _| {
+        range.fold(identity.clone(), |acc, i| {
+            reduce(acc, map(i, block.point(i)))
+        })
     })?;
-    Ok(per_chunk.into_iter().fold(identity, &reduce))
+    Ok(per_chunk
+        .into_iter()
+        .map(|(a, _)| a)
+        .fold(identity, &reduce))
+}
+
+/// The tight axis-aligned bounding box of `source`, or `None` when it is
+/// empty — one chunked parallel pass.
+///
+/// Per-chunk min/max folds are merged in chunk order; min/max is exactly
+/// associative, so the result is bit-identical to the sequential fold of
+/// [`Dataset::bounding_box`] at every thread count and for every backing.
+pub fn par_bounding_box<S>(source: &S, threads: NonZeroUsize) -> Result<Option<BoundingBox>>
+where
+    S: PointSource + ?Sized,
+{
+    let per_chunk = par_scan(source, threads, |range, block| {
+        let mut min = block.point(range.start).to_vec();
+        let mut max = min.clone();
+        for i in range.start + 1..range.end {
+            let p = block.point(i);
+            for j in 0..p.len() {
+                if p[j] < min[j] {
+                    min[j] = p[j];
+                }
+                if p[j] > max[j] {
+                    max[j] = p[j];
+                }
+            }
+        }
+        (min, max)
+    })?;
+    Ok(per_chunk
+        .into_iter()
+        .reduce(|(mut min, mut max), (lo, hi)| {
+            for j in 0..min.len() {
+                if lo[j] < min[j] {
+                    min[j] = lo[j];
+                }
+                if hi[j] > max[j] {
+                    max[j] = hi[j];
+                }
+            }
+            (min, max)
+        })
+        .map(|(min, max)| BoundingBox::new(min, max)))
 }
 
 /// Runs `task(index)` for every index in `0..count` and returns the results
@@ -334,8 +437,8 @@ mod tests {
         let ds = numbered(1000);
         for threads in [1, 3, 8] {
             let nested =
-                scan_chunks(&ds, t(threads), 64, |range, _| range.collect::<Vec<_>>()).unwrap();
-            let flat: Vec<usize> = nested.into_iter().flatten().collect();
+                scan_chunks(&ds, t(threads), 64, |range, _, _| range.collect::<Vec<_>>()).unwrap();
+            let flat: Vec<usize> = nested.into_iter().flat_map(|(v, _)| v).collect();
             assert_eq!(flat, (0..1000).collect::<Vec<_>>(), "threads = {threads}");
         }
     }
@@ -417,6 +520,74 @@ mod tests {
             par_map_reduce(&ds, t(2), 7usize, |_, _| 1, |a, b| a + b).unwrap(),
             7
         );
+    }
+
+    /// An in-memory source that only offers the chunk-read backing —
+    /// exercises the same executor path as a shard directory.
+    struct ChunkedMem(Dataset);
+
+    impl PointSource for ChunkedMem {
+        fn dim(&self) -> usize {
+            self.0.dim()
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn scan(&self, visit: &mut dyn FnMut(usize, &[f64])) -> Result<()> {
+            self.0.scan(visit)
+        }
+        fn as_chunks(&self) -> Option<&dyn ChunkAccess> {
+            Some(self)
+        }
+    }
+
+    impl ChunkAccess for ChunkedMem {
+        fn dim(&self) -> usize {
+            self.0.dim()
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn read_points_into(
+            &self,
+            range: Range<usize>,
+            buf: &mut Vec<f64>,
+            _tally: &mut Tally,
+        ) -> Result<()> {
+            buf.clear();
+            buf.extend_from_slice(
+                &self.0.as_flat()[range.start * self.0.dim()..range.end * self.0.dim()],
+            );
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn chunk_read_backing_matches_borrowed() {
+        let ds = numbered(10_000);
+        let chunked = ChunkedMem(ds.clone());
+        let want = par_map(&ds, t(1), |i, p| (i, p[0])).unwrap();
+        for threads in [1, 2, 7] {
+            let got = par_map(&chunked, t(threads), |i, p| (i, p[0])).unwrap();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_bounding_box_matches_sequential() {
+        let ds = numbered(9_000);
+        let want = ds.bounding_box().unwrap();
+        for threads in [1, 2, 7] {
+            let bb = par_bounding_box(&ds, t(threads)).unwrap().unwrap();
+            assert_eq!(bb.min(), want.min(), "threads = {threads}");
+            assert_eq!(bb.max(), want.max(), "threads = {threads}");
+            let bb = par_bounding_box(&ChunkedMem(ds.clone()), t(threads))
+                .unwrap()
+                .unwrap();
+            assert_eq!(bb.min(), want.min());
+            assert_eq!(bb.max(), want.max());
+        }
+        assert!(par_bounding_box(&Dataset::new(2), t(2)).unwrap().is_none());
     }
 
     #[test]

@@ -8,8 +8,144 @@
 //! pass structure is honest. In-memory [`Dataset`]s and on-disk files (see
 //! [`crate::io::FileSource`]) both implement the trait.
 
+use std::ops::Range;
+
 use crate::dataset::Dataset;
-use crate::error::Result;
+use crate::error::{Error, Result};
+use crate::obs::Tally;
+
+/// Environment variable overriding the default in-memory materialization
+/// cap, in bytes (see [`collect_cap_bytes`]).
+pub const COLLECT_CAP_ENV: &str = "DBS_COLLECT_CAP_BYTES";
+
+/// Default materialization cap: 8 GiB of raw `f64` payload.
+const DEFAULT_COLLECT_CAP_BYTES: u64 = 8 << 30;
+
+/// The ambient in-memory materialization cap in bytes, read once from
+/// [`COLLECT_CAP_ENV`] (default 8 GiB). [`PointSource::collect_dataset`]
+/// refuses — with a clean [`Error::InvalidParameter`], not an OOM abort —
+/// to materialize sources whose raw payload exceeds it.
+pub fn collect_cap_bytes() -> u64 {
+    static CAP: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var(COLLECT_CAP_ENV)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_COLLECT_CAP_BYTES)
+    })
+}
+
+/// A contiguous run of consecutive points handed to parallel per-chunk
+/// closures — the view type of [`crate::par::par_scan`].
+///
+/// A block addresses its points by **global index** (the same indices the
+/// chunk range carries), so closure bodies read `block.point(i)` for `i` in
+/// their range exactly as they previously read `dataset.point(i)`. Blocks
+/// borrow either an in-memory [`Dataset`] (zero-copy) or a worker-local
+/// buffer filled from a [`ChunkAccess`] source.
+#[derive(Debug, Clone, Copy)]
+pub struct PointBlock<'a> {
+    first: usize,
+    dim: usize,
+    data: &'a [f64],
+}
+
+impl<'a> PointBlock<'a> {
+    /// A zero-copy view of `data[range]`.
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn from_dataset(data: &'a Dataset, range: Range<usize>) -> Self {
+        let dim = data.dim();
+        PointBlock {
+            first: range.start,
+            dim,
+            data: &data.as_flat()[range.start * dim..range.end * dim],
+        }
+    }
+
+    /// Wraps a flat row-major buffer whose first point has global index
+    /// `first`. Panics if the buffer length is not a multiple of `dim`.
+    pub fn from_flat(first: usize, dim: usize, data: &'a [f64]) -> Self {
+        assert!(dim >= 1, "block dimensionality must be >= 1");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "flat block buffer must hold whole points"
+        );
+        PointBlock { first, dim, data }
+    }
+
+    /// Dimensionality of every point in the block.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of points in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the block holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The global index range this block covers.
+    #[inline]
+    pub fn range(&self) -> Range<usize> {
+        self.first..self.first + self.len()
+    }
+
+    /// The point with **global** index `i`.
+    ///
+    /// Panics if `i` is outside [`PointBlock::range`].
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        let k = i - self.first;
+        &self.data[k * self.dim..(k + 1) * self.dim]
+    }
+
+    /// The block's flat row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        self.data
+    }
+}
+
+/// Random access by index range — the contract that lets the parallel
+/// executor hand each worker its chunk's points directly, without
+/// materializing the whole source (see [`crate::par`]).
+///
+/// `Sync` is a supertrait because the executor shares `&dyn ChunkAccess`
+/// across worker threads; implementations must therefore use positional
+/// reads (or immutable mappings), not a shared seek cursor.
+pub trait ChunkAccess: Sync {
+    /// Dimensionality of the points.
+    fn dim(&self) -> usize;
+
+    /// Number of points.
+    fn len(&self) -> usize;
+
+    /// Whether the source holds no points. (Shard directories reject
+    /// zero-count shards at open, so this is false for every on-disk
+    /// source today.)
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fills `buf` with the points in `range`, row-major, replacing its
+    /// contents (`buf.len()` becomes `range.len() * dim`). I/O work counts
+    /// accumulate into `tally`; like all observability, they never affect
+    /// the values read.
+    fn read_points_into(
+        &self,
+        range: Range<usize>,
+        buf: &mut Vec<f64>,
+        tally: &mut Tally,
+    ) -> Result<()>;
+}
 
 /// A source of `d`-dimensional points that supports repeated sequential
 /// scans but no random access.
@@ -30,8 +166,26 @@ pub trait PointSource {
     /// point in order.
     fn scan(&self, visit: &mut dyn FnMut(usize, &[f64])) -> Result<()>;
 
-    /// Materializes the source into an in-memory [`Dataset`] (one pass).
+    /// Materializes the source into an in-memory [`Dataset`] (one pass),
+    /// refusing with [`Error::InvalidParameter`] when the raw payload
+    /// exceeds the ambient cap ([`collect_cap_bytes`]) — accidental
+    /// materialization of a huge out-of-core source is a clean error, not
+    /// an OOM abort.
     fn collect_dataset(&self) -> Result<Dataset> {
+        self.collect_dataset_capped(collect_cap_bytes())
+    }
+
+    /// [`PointSource::collect_dataset`] with an explicit cap in bytes.
+    fn collect_dataset_capped(&self, cap_bytes: u64) -> Result<Dataset> {
+        let payload = (self.len() as u128) * (self.dim() as u128) * 8;
+        if payload > cap_bytes as u128 {
+            return Err(Error::InvalidParameter(format!(
+                "materializing {} points x {} dims needs {payload} bytes, over the \
+                 {cap_bytes}-byte in-memory cap ({COLLECT_CAP_ENV} overrides it)",
+                self.len(),
+                self.dim(),
+            )));
+        }
         let mut ds = Dataset::with_capacity(self.dim(), self.len());
         self.scan(&mut |_, p| {
             ds.push(p)
@@ -49,6 +203,27 @@ pub trait PointSource {
     /// materialized via [`PointSource::collect_dataset`].
     fn as_dataset(&self) -> Option<&Dataset> {
         None
+    }
+
+    /// The chunk-random-access view of this source, if it has one.
+    ///
+    /// The parallel executor prefers [`PointSource::as_dataset`] (zero
+    /// copy), then this (each worker reads its own chunk into a reusable
+    /// buffer — bounded memory), and only then materializes the whole
+    /// source. [`PassCounter`] forwards neither view, for the same reason
+    /// it hides `as_dataset`.
+    fn as_chunks(&self) -> Option<&dyn ChunkAccess> {
+        None
+    }
+}
+
+/// Materializes `source` into an in-memory [`Dataset`] under the ambient
+/// cap — the sanctioned entry point for pipeline stages that genuinely
+/// need random access to every point (e.g. full-dataset CURE).
+pub fn materialize<S: PointSource + ?Sized>(source: &S) -> Result<Dataset> {
+    match source.as_dataset() {
+        Some(ds) => Ok(ds.clone()),
+        None => source.collect_dataset(),
     }
 }
 
@@ -115,9 +290,9 @@ impl<S: PointSource + ?Sized> PointSource for PassCounter<'_, S> {
         Ok(())
     }
 
-    // Deliberately not forwarding `as_dataset`: a counted source must make
-    // every executor pay an observable `scan`, even when the inner source
-    // could hand out its buffer for free.
+    // Deliberately not forwarding `as_dataset` or `as_chunks`: a counted
+    // source must make every executor pay an observable `scan`, even when
+    // the inner source could hand out its buffer (or chunk reads) for free.
 }
 
 #[cfg(test)]
@@ -141,6 +316,40 @@ mod tests {
         let ds = dataset();
         let copy = ds.collect_dataset().unwrap();
         assert_eq!(ds, copy);
+    }
+
+    #[test]
+    fn point_block_addresses_globally() {
+        let ds = dataset();
+        let block = PointBlock::from_dataset(&ds, 1..2);
+        assert_eq!(block.len(), 1);
+        assert_eq!(block.range(), 1..2);
+        assert_eq!(block.point(1), &[3.0, 4.0]);
+        let flat = [9.0, 8.0, 7.0, 6.0];
+        let block = PointBlock::from_flat(5, 2, &flat);
+        assert_eq!(block.range(), 5..7);
+        assert_eq!(block.point(6), &[7.0, 6.0]);
+    }
+
+    #[test]
+    fn collect_cap_rejects_oversized_sources() {
+        let ds = dataset();
+        // 2 points x 2 dims x 8 bytes = 32 bytes; a 31-byte cap refuses.
+        let err = ds.collect_dataset_capped(31).unwrap_err();
+        assert!(matches!(err, Error::InvalidParameter(_)), "{err}");
+        assert!(err.to_string().contains("DBS_COLLECT_CAP_BYTES"));
+        assert_eq!(ds.collect_dataset_capped(32).unwrap(), ds);
+        // The ambient default is far above any test dataset.
+        assert_eq!(ds.collect_dataset().unwrap(), ds);
+    }
+
+    #[test]
+    fn materialize_borrows_or_collects() {
+        let ds = dataset();
+        assert_eq!(materialize(&ds).unwrap(), ds);
+        let counted = PassCounter::new(&ds);
+        assert_eq!(materialize(&counted).unwrap(), ds);
+        assert_eq!(counted.passes(), 1);
     }
 
     #[test]

@@ -26,11 +26,9 @@
 //! biased sampler only needs *relative* density (§2.2), which this does not
 //! disturb.
 
-use std::ops::Range;
-
 use dbs_core::obs::{Counter, Tally};
 use dbs_core::rng::keyed_unit;
-use dbs_core::{BoundingBox, Dataset, Error, PointSource, Result};
+use dbs_core::{BoundingBox, Error, PointBlock, PointSource, Result};
 
 use crate::traits::DensityEstimator;
 
@@ -298,15 +296,9 @@ impl AveragedGridEstimator {
     /// accumulation stays in ascending grid order with one final
     /// normalization — the written densities are bit-identical to
     /// per-point [`DensityEstimator::density`] calls.
-    fn batch_into(
-        &self,
-        points: &Dataset,
-        range: Range<usize>,
-        out: &mut [f64],
-        tally: &mut Tally,
-    ) {
-        debug_assert_eq!(out.len(), range.len());
-        let len = range.len();
+    fn batch_into(&self, points: &PointBlock, out: &mut [f64], tally: &mut Tally) {
+        debug_assert_eq!(out.len(), points.len());
+        let len = points.len();
         if len == 0 {
             return;
         }
@@ -316,7 +308,7 @@ impl AveragedGridEstimator {
         // Scaled coordinates (p - dmin) * inv_width, shared by all grids:
         // grid g's cell index only adds its shift offset on top.
         let mut scaled = vec![0.0f64; len * dim];
-        for (k, i) in range.clone().enumerate() {
+        for (k, i) in points.range().enumerate() {
             let p = points.point(i);
             if self.domain.contains(p) {
                 inside[k] = true;
@@ -499,22 +491,16 @@ impl DensityEstimator for AveragedGridEstimator {
 
     /// The sorted-lookup batch engine (see [`Self::batch_into`]),
     /// bit-identical to per-point [`DensityEstimator::density`] calls.
-    fn densities_into(&self, points: &Dataset, range: Range<usize>, out: &mut [f64]) {
+    fn densities_into(&self, points: &PointBlock, out: &mut [f64]) {
         let mut scratch = Tally::default();
-        self.batch_into(points, range, out, &mut scratch);
+        self.batch_into(points, out, &mut scratch);
     }
 
     /// [`DensityEstimator::densities_into`] with the engine's work counts
     /// (distinct cells touched, grids averaged) recorded into `tally`.
     /// Same computation, same bits.
-    fn densities_into_tallied(
-        &self,
-        points: &Dataset,
-        range: Range<usize>,
-        out: &mut [f64],
-        tally: &mut Tally,
-    ) {
-        self.batch_into(points, range, out, tally);
+    fn densities_into_tallied(&self, points: &PointBlock, out: &mut [f64], tally: &mut Tally) {
+        self.batch_into(points, out, tally);
     }
 }
 
@@ -522,6 +508,7 @@ impl DensityEstimator for AveragedGridEstimator {
 mod tests {
     use super::*;
     use dbs_core::rng::seeded;
+    use dbs_core::Dataset;
     use rand::Rng;
 
     fn uniform_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
@@ -642,7 +629,10 @@ mod tests {
         queries.push(&[-0.1, 0.2]).unwrap();
         let est = AveragedGridEstimator::fit(&ds, &AgridConfig::default()).unwrap();
         let mut out = vec![0.0; queries.len()];
-        est.densities_into(&queries, 0..queries.len(), &mut out);
+        est.densities_into(
+            &PointBlock::from_dataset(&queries, 0..queries.len()),
+            &mut out,
+        );
         for (i, &got) in out.iter().enumerate() {
             let want = est.density(queries.point(i));
             assert_eq!(got.to_bits(), want.to_bits(), "point {i}");
@@ -655,7 +645,11 @@ mod tests {
         let est = AveragedGridEstimator::fit(&ds, &AgridConfig::default()).unwrap();
         let mut out = vec![0.0; 1000];
         let mut tally = Tally::default();
-        est.densities_into_tallied(&ds, 0..1000, &mut out, &mut tally);
+        est.densities_into_tallied(
+            &PointBlock::from_dataset(&ds, 0..1000),
+            &mut out,
+            &mut tally,
+        );
         assert_eq!(tally.get(Counter::AgridGridsAveraged), 8);
         let touches = tally.get(Counter::AgridCellTouches);
         // At most one distinct-cell run per (point, grid), at least one

@@ -37,10 +37,8 @@
 //! scalar vs. batch". `tests/batch_parity.rs` asserts this across kernels,
 //! dimensions, and thread counts.
 
-use std::ops::Range;
-
 use dbs_core::obs::{Counter, Tally};
-use dbs_core::Dataset;
+use dbs_core::PointBlock;
 use dbs_spatial::GridIndex;
 
 use crate::kde::KernelDensityEstimator;
@@ -50,31 +48,39 @@ use crate::kernel::{profiles, Kernel, KernelProfile};
 /// FP-add latency, few enough to stay in registers.
 const BLOCK: usize = 4;
 
-/// Batch form of `KernelDensityEstimator::density` over `points[range]`,
-/// writing into `out` (`out[k]` = density of point `range.start + k`).
-/// Bit-identical to the scalar path (module docs). Work counts (tiles,
-/// candidate visits, kernel evaluations) accumulate into `tally`, which is
-/// purely observational — it never influences the computed densities.
+/// Batch form of `KernelDensityEstimator::density` over the points of
+/// `block`, writing into `out` (`out[k]` = density of point
+/// `block.range().start + k`). Bit-identical to the scalar path (module
+/// docs). Work counts (tiles, candidate visits, kernel evaluations)
+/// accumulate into `tally`, which is purely observational — it never
+/// influences the computed densities.
 pub(crate) fn kde_densities_into(
     est: &KernelDensityEstimator,
-    points: &Dataset,
-    range: Range<usize>,
+    block: &PointBlock,
     out: &mut [f64],
     tally: &mut Tally,
 ) {
-    debug_assert_eq!(points.dim(), est.centers.dim());
-    debug_assert_eq!(out.len(), range.len());
+    debug_assert_eq!(block.dim(), est.centers.dim());
+    debug_assert_eq!(out.len(), block.len());
     let ks = est.centers.len();
     match &est.center_grid {
         None => {
             // Every point sees every center: the SoA copy of the centers is
             // the panel, and the whole chunk is one tile.
-            let tile: Vec<u32> = range.clone().map(|i| i as u32).collect();
+            let tile: Vec<u32> = block.range().map(|i| i as u32).collect();
             tally.add(Counter::BatchTiles, 1);
             tally.add(Counter::KdeKernelEvals, (tile.len() * ks) as u64);
-            eval_tile(est, points, &tile, &est.centers_soa, ks, out, range.start);
+            eval_tile(
+                est,
+                block,
+                &tile,
+                &est.centers_soa,
+                ks,
+                out,
+                block.range().start,
+            );
         }
-        Some(grid) => tiled_eval(est, grid, points, range, out, tally),
+        Some(grid) => tiled_eval(est, grid, block, out, tally),
     }
 }
 
@@ -83,8 +89,7 @@ pub(crate) fn kde_densities_into(
 fn tiled_eval(
     est: &KernelDensityEstimator,
     grid: &GridIndex,
-    points: &Dataset,
-    range: Range<usize>,
+    points: &PointBlock,
     out: &mut [f64],
     tally: &mut Tally,
 ) {
@@ -94,8 +99,8 @@ fn tiled_eval(
     // Sort (cell, index) pairs: runs of equal cells are the tiles, and
     // within a tile points stay in index order. Purely a regrouping — each
     // point's value is independent — so output order is unaffected.
-    let mut order: Vec<(u32, u32)> = range
-        .clone()
+    let mut order: Vec<(u32, u32)> = points
+        .range()
         .map(|i| (grid.cell_of(points.point(i)) as u32, i as u32))
         .collect();
     order.sort_unstable();
@@ -161,7 +166,7 @@ fn tiled_eval(
         tiles += 1;
         visits += m as u64;
         evals += (tile.len() * m) as u64;
-        eval_tile(est, points, &tile, &panel, m, out, range.start);
+        eval_tile(est, points, &tile, &panel, m, out, points.range().start);
         start = end;
     }
 
@@ -174,7 +179,7 @@ fn tiled_eval(
 /// estimator's kernel profile.
 fn eval_tile(
     est: &KernelDensityEstimator,
-    points: &Dataset,
+    points: &PointBlock,
     tile: &[u32],
     panel: &[f64],
     m: usize,
@@ -203,7 +208,7 @@ fn eval_tile(
 /// workloads, generic panel loop otherwise.
 #[allow(clippy::too_many_arguments)]
 fn eval_tile_k<K: KernelProfile>(
-    points: &Dataset,
+    points: &PointBlock,
     tile: &[u32],
     panel: &[f64],
     m: usize,
@@ -221,7 +226,7 @@ fn eval_tile_k<K: KernelProfile>(
 
 #[allow(clippy::too_many_arguments)]
 fn tile_d2<K: KernelProfile>(
-    points: &Dataset,
+    points: &PointBlock,
     tile: &[u32],
     panel: &[f64],
     m: usize,
@@ -265,7 +270,7 @@ fn tile_d2<K: KernelProfile>(
 
 #[allow(clippy::too_many_arguments)]
 fn tile_d3<K: KernelProfile>(
-    points: &Dataset,
+    points: &PointBlock,
     tile: &[u32],
     panel: &[f64],
     m: usize,
@@ -316,7 +321,7 @@ fn tile_d3<K: KernelProfile>(
 
 #[allow(clippy::too_many_arguments)]
 fn tile_generic<K: KernelProfile>(
-    points: &Dataset,
+    points: &PointBlock,
     tile: &[u32],
     panel: &[f64],
     m: usize,
@@ -390,7 +395,10 @@ mod tests {
         // Exercise sub-chunk ranges too (mid-dataset offsets).
         for range in [0..n, n / 3..2 * n / 3] {
             let mut out = vec![0.0f64; range.len()];
-            est.densities_into(ds, range.clone(), &mut out);
+            est.densities_into(
+                &dbs_core::PointBlock::from_dataset(ds, range.clone()),
+                &mut out,
+            );
             for (k, i) in range.enumerate() {
                 let want = est.density(ds.point(i));
                 assert_eq!(

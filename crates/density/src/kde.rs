@@ -382,9 +382,9 @@ impl DensityEstimator for KernelDensityEstimator {
     /// The cache-blocked batch engine (see [`crate::batch`]): tile-shared
     /// candidate pruning + SoA panels + register-blocked micro-kernels,
     /// bit-identical to per-point [`DensityEstimator::density`] calls.
-    fn densities_into(&self, points: &Dataset, range: std::ops::Range<usize>, out: &mut [f64]) {
+    fn densities_into(&self, points: &dbs_core::PointBlock, out: &mut [f64]) {
         let mut scratch = dbs_core::obs::Tally::default();
-        crate::batch::kde_densities_into(self, points, range, out, &mut scratch);
+        crate::batch::kde_densities_into(self, points, out, &mut scratch);
     }
 
     /// [`DensityEstimator::densities_into`] with the batch engine's work
@@ -392,12 +392,11 @@ impl DensityEstimator for KernelDensityEstimator {
     /// into `tally`. Same computation, same bits.
     fn densities_into_tallied(
         &self,
-        points: &Dataset,
-        range: std::ops::Range<usize>,
+        points: &dbs_core::PointBlock,
         out: &mut [f64],
         tally: &mut dbs_core::obs::Tally,
     ) {
-        crate::batch::kde_densities_into(self, points, range, out, tally);
+        crate::batch::kde_densities_into(self, points, out, tally);
     }
 }
 

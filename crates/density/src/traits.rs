@@ -1,10 +1,9 @@
 //! The estimator interface shared by all density backends.
 
 use std::num::NonZeroUsize;
-use std::ops::Range;
 
 use dbs_core::obs::{Recorder, Tally};
-use dbs_core::{BoundingBox, Dataset, PointSource, Result};
+use dbs_core::{BoundingBox, Dataset, PointBlock, PointSource, Result};
 
 /// A frequency-scaled density estimator over `[0,1]^d` (or any fixed box
 /// domain).
@@ -36,8 +35,8 @@ pub trait DensityEstimator {
     /// above this are "denser than average" in the sense of §2.2.
     fn average_density(&self) -> f64;
 
-    /// Batch hook: writes the densities of `points[range]` into `out`
-    /// (`out[k]` = density of point `range.start + k`).
+    /// Batch hook: writes the densities of the points in `block` into
+    /// `out` (`out[k]` = density of point `block.range().start + k`).
     ///
     /// The contract is **bit-identical** to calling
     /// [`DensityEstimator::density`] once per point in index order — a
@@ -47,13 +46,15 @@ pub trait DensityEstimator {
     /// default is the per-point fallback, so grid/hash/wavelet backends are
     /// batch-routed without any change.
     ///
-    /// This is the per-chunk primitive under [`batch_densities`]; callers
-    /// wanting a whole-dataset vector should use that (or
-    /// [`DensityEstimator::densities`]) instead.
-    fn densities_into(&self, points: &Dataset, range: Range<usize>, out: &mut [f64]) {
-        debug_assert_eq!(out.len(), range.len());
-        for (o, i) in out.iter_mut().zip(range) {
-            *o = self.density(points.point(i));
+    /// Taking a [`PointBlock`] (not a whole `Dataset`) is what lets the
+    /// executor evaluate chunks of an out-of-core source directly from each
+    /// worker's chunk buffer. This is the per-chunk primitive under
+    /// [`batch_densities`]; callers wanting a whole-dataset vector should
+    /// use that (or [`DensityEstimator::densities`]) instead.
+    fn densities_into(&self, block: &PointBlock, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), block.len());
+        for (o, i) in out.iter_mut().zip(block.range()) {
+            *o = self.density(block.point(i));
         }
     }
 
@@ -63,15 +64,9 @@ pub trait DensityEstimator {
     /// delegates to the plain hook. Recording is strictly observational —
     /// the written densities are bit-identical to
     /// [`DensityEstimator::densities_into`] regardless of the tally.
-    fn densities_into_tallied(
-        &self,
-        points: &Dataset,
-        range: Range<usize>,
-        out: &mut [f64],
-        tally: &mut Tally,
-    ) {
+    fn densities_into_tallied(&self, block: &PointBlock, out: &mut [f64], tally: &mut Tally) {
         let _ = tally;
-        self.densities_into(points, range, out);
+        self.densities_into(block, out);
     }
 
     /// A stored point set that is a *uniform sample* of the fitted dataset,
@@ -149,9 +144,9 @@ where
     E: DensityEstimator + Sync + ?Sized,
     S: PointSource + ?Sized,
 {
-    let nested = dbs_core::par::par_scan_tallied(source, threads, recorder, |range, ds, tally| {
-        let mut out = vec![0.0f64; range.len()];
-        est.densities_into_tallied(ds, range, &mut out, tally);
+    let nested = dbs_core::par::par_scan_tallied(source, threads, recorder, |_, block, tally| {
+        let mut out = vec![0.0f64; block.len()];
+        est.densities_into_tallied(block, &mut out, tally);
         out
     })?;
     Ok(nested.into_iter().flatten().collect())

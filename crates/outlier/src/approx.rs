@@ -161,16 +161,16 @@ where
     let ball_vol = dbs_core::metric::ball_volume(source.dim(), k);
     let skip_above = 1000.0 * threshold;
     recorder.add(Counter::DatasetPasses, 1);
-    let kept_chunks = par::par_scan_tallied(source, threads, recorder, |range, ds, tally| {
+    let kept_chunks = par::par_scan_tallied(source, threads, recorder, |range, block, tally| {
         let mut dens = vec![0.0f64; range.len()];
-        estimator.densities_into_tallied(ds, range.clone(), &mut dens, tally);
+        estimator.densities_into_tallied(block, &mut dens, tally);
         let mut kept: Vec<(usize, Vec<f64>)> = Vec::new();
         for (off, i) in range.enumerate() {
             if dens[off] * ball_vol > skip_above {
                 tally.add(Counter::PrefilterSkips, 1);
                 continue;
             }
-            let x = ds.point(i);
+            let x = block.point(i);
             let expected = expected_neighbors_tallied(
                 estimator,
                 x,
@@ -211,11 +211,11 @@ where
         let candidate_points = &candidate_points;
         let candidate_indices = &candidate_indices;
         recorder.add(Counter::DatasetPasses, 1);
-        let per_chunk = par::par_scan_tallied(source, threads, recorder, |range, ds, tally| {
+        let per_chunk = par::par_scan_tallied(source, threads, recorder, |range, block, tally| {
             let mut local = vec![0usize; candidates];
             let mut dist_evals = 0u64;
             for i in range {
-                let x = ds.point(i);
+                let x = block.point(i);
                 grid.for_each_candidate_within(x, k, |ci| {
                     let ci = ci as usize;
                     if candidate_indices[ci] != i {
@@ -313,12 +313,12 @@ where
     recorder.add(Counter::DatasetPasses, 1);
     // Per-chunk serial fold + chunk-ordered integer sum — the same
     // reduction `par_map_reduce` performs, with a tally alongside.
-    let per_chunk = par::par_scan_tallied(source, threads, recorder, |range, ds, tally| {
+    let per_chunk = par::par_scan_tallied(source, threads, recorder, |range, block, tally| {
         let mut count = 0usize;
         for i in range {
             let expected = expected_neighbors_tallied(
                 estimator,
-                ds.point(i),
+                block.point(i),
                 params.radius,
                 ball_samples,
                 seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),

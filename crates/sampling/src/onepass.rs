@@ -143,9 +143,9 @@ where
     // draws are keyed on (seed, index) as in the two-pass sampler.
     let b = config.target_size as f64;
     recorder.add(Counter::DatasetPasses, 1);
-    let per_chunk = par::par_scan_tallied(source, threads, recorder, |range, ds, tally| {
+    let per_chunk = par::par_scan_tallied(source, threads, recorder, |range, block, tally| {
         let mut dens = vec![0.0f64; range.len()];
-        estimator.densities_into_tallied(ds, range.clone(), &mut dens, tally);
+        estimator.densities_into_tallied(block, &mut dens, tally);
         let mut picks: Vec<(usize, Vec<f64>, f64)> = Vec::new();
         let mut clipped = 0usize;
         for (off, i) in range.enumerate() {
@@ -157,7 +157,7 @@ where
                 raw
             };
             if keyed_unit(config.seed, i as u64) < p {
-                picks.push((i, ds.point(i).to_vec(), 1.0 / p));
+                picks.push((i, block.point(i).to_vec(), 1.0 / p));
             }
         }
         tally.add(Counter::SamplerClipEvents, clipped as u64);

@@ -48,3 +48,11 @@ bench-cure-part:
 # carries the d=5/100k agrid-vs-KDE query comparison (>=5x target).
 bench-agrid:
     CRITERION_JSON=BENCH_agrid.json cargo bench -p dbs-bench --bench agrid
+
+# Out-of-core proof: a 10M-point (16-d) sample-fed clustering run over
+# read-backend shards with peak RSS measured against the raw dataset size
+# (< 25% target), plus sharded-vs-in-memory wall times and the
+# FileSource::scan A/B. Takes a few minutes on one core; drop
+# SHARD_SCAN_FULL=1 for a 1M-point smoke version.
+bench-shard:
+    SHARD_SCAN_FULL=1 CRITERION_JSON=BENCH_shard_scan.json cargo bench -p dbs-bench --bench shard_scan

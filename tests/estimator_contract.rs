@@ -126,7 +126,8 @@ fn batch_is_bit_identical_to_per_point() {
     }
     for (name, est) in backends(&synth.data, 2) {
         let mut out = vec![0.0f64; queries.len()];
-        est.densities_into(&queries, 0..queries.len(), &mut out);
+        let block = dbs_core::PointBlock::from_dataset(&queries, 0..queries.len());
+        est.densities_into(&block, &mut out);
         for (i, &got) in out.iter().enumerate() {
             let want = est.density(queries.point(i));
             assert_eq!(
