@@ -31,12 +31,20 @@
 //! * closest-pair selection pops a **lazy-deletion binary min-heap** of
 //!   `(closest_dist, cluster_id)` entries, validated on pop against a
 //!   per-cluster generation counter;
-//! * stale-pointer recomputation queries a [`dbs_spatial::RepIndex`] — a
-//!   dynamic grid over all active clusters' representative points, updated
-//!   incrementally on merge and trim — instead of scanning every cluster;
+//! * a consumed or trimmed-away closest pointer is served from a small
+//!   per-cluster **candidate list**: the `CAND_K` nearest clusters below a
+//!   per-list coverage bound, cached in lexicographic `(dist, id)` order
+//!   and lazily revalidated against reshape generation counters. Only when
+//!   the cache runs dry does the cluster fall back to a k-nearest query
+//!   against a [`dbs_spatial::RepIndex`] — a dynamic grid over all active
+//!   clusters' representative points, updated incrementally on merge and
+//!   trim — instead of every consumed pointer paying that rescan (the
+//!   pre-candidate scheme did, which in tight high-dimensional blobs made
+//!   nearly every merge broadcast a full rescan: the 16-d n=1500 cliff);
 //! * the post-merge broadcast ("did the merged cluster become anyone's new
 //!   closest?") prunes with an exact representative-bounding-box distance
-//!   bound before computing any rep-to-rep distance.
+//!   bound — against both the cached closest distance and the candidate
+//!   coverage bound — before computing any rep-to-rep distance.
 //!
 //! The accelerated core is **bit-identical** to the retained reference loop
 //! ([`hierarchical_cluster_reference`]): same merge sequence, same trims,
@@ -499,26 +507,173 @@ impl Ord for HeapEntry {
     }
 }
 
-/// The closest other cluster of `id`, via the rep index: the lexicographic
-/// `(distance, owner)` minimum over `id`'s reps — exactly what the
-/// reference's ascending-id scan over [`cluster_dist`] values computes.
-fn recompute_via_index(
+/// Candidate-list capacity: nearest-cluster pairs cached per cluster. Each
+/// rebuild queries one extra neighbor (`CAND_K + 1`) to establish the
+/// coverage bound. Small on purpose — the list only has to absorb the burst
+/// of consumed pointers between reshapes of the clusters involved.
+const CAND_K: usize = 8;
+
+/// One cached nearest-cluster pair.
+#[derive(Debug, Clone, Copy)]
+struct CandEntry {
+    dist: f64,
+    owner: u32,
+    /// `rep_gens[owner]` at caching time; a mismatch means `owner` has
+    /// reshaped since and `dist` is stale.
+    rep_gen: u32,
+}
+
+/// A cluster's cached candidate list, with its coverage invariant:
+/// every *active* cluster `j` whose current `(cluster_dist, j)` pair is
+/// lexicographically below the bound `(rho_dist, rho_owner)` has a valid
+/// entry here carrying that exact pair, and every entry is below the bound.
+/// (Pairs are unique across owners, so all comparisons are strict.) Under
+/// the invariant the first valid entry is the exact lexicographic minimum
+/// over all active clusters — the same answer a full rescan computes.
+#[derive(Debug, Clone)]
+struct CandList {
+    /// Ascending in lexicographic `(dist, owner)`; at most [`CAND_K`].
+    entries: Vec<CandEntry>,
+    rho_dist: f64,
+    rho_owner: u32,
+}
+
+impl CandList {
+    /// Uncovered sentinel: a bound below every real pair, so nothing is
+    /// claimed covered and the first fallback rebuilds. Lists start here
+    /// (lazily built) and nothing is allocated until first use.
+    fn empty() -> CandList {
+        CandList {
+            entries: Vec::new(),
+            rho_dist: -1.0,
+            rho_owner: 0,
+        }
+    }
+}
+
+/// Strict lexicographic `(dist, owner)` comparison.
+#[inline]
+fn pair_lt(d1: f64, o1: u32, d2: f64, o2: u32) -> bool {
+    d1 < d2 || (d1 == d2 && o1 < o2)
+}
+
+/// Rebuilds `list` from the rep index: the `CAND_K + 1` nearest other
+/// clusters of `id` in lexicographic `(dist, owner)` order, keeping
+/// `CAND_K` as cached entries and the last as the coverage bound (or an
+/// infinite bound when fewer other clusters exist — the list is then
+/// complete). Returns the new closest pointer (the list head), or
+/// `(usize::MAX, INFINITY)` when no other cluster is indexed.
+fn rebuild_candidates(
     index: &RepIndex,
     id: usize,
     reps: &[Vec<f64>],
+    rep_gens: &[u32],
+    list: &mut CandList,
     tally: &mut Tally,
 ) -> (usize, f64) {
     tally.add(Counter::RepIndexQueries, reps.len() as u64);
-    let mut best = (usize::MAX, f64::INFINITY);
+    tally.add(Counter::CandidateRebuilds, 1);
+    // Merge the per-rep (CAND_K + 1)-nearest owner lists keeping each
+    // owner's minimum distance: the merged top-(CAND_K + 1) is the true
+    // top-(CAND_K + 1) by [`cluster_dist`] — the rep attaining an owner's
+    // minimum ranks that owner inside its own per-rep top list unless
+    // CAND_K + 1 owners beat it there, in which case they beat it globally
+    // too and it cannot be in the true top anyway.
+    let mut merged: Vec<(f64, u32)> = Vec::with_capacity(CAND_K + 2);
     for p in reps {
-        if let Some((owner, d)) = index.nearest_owner_sq(p, id as u32) {
-            let owner = owner as usize;
-            if d < best.1 || (d == best.1 && owner < best.0) {
-                best = (owner, d);
+        for (owner, d) in index.knearest_owners_sq(p, id as u32, CAND_K + 1) {
+            if let Some(pos) = merged.iter().position(|&(_, o)| o == owner) {
+                if d >= merged[pos].0 {
+                    continue;
+                }
+                merged.remove(pos);
+            } else if merged.len() == CAND_K + 1 {
+                let (wd, wo) = merged[CAND_K];
+                if !pair_lt(d, owner, wd, wo) {
+                    continue;
+                }
+            }
+            let at = merged.partition_point(|&(bd, bo)| pair_lt(bd, bo, d, owner));
+            merged.insert(at, (d, owner));
+            if merged.len() > CAND_K + 1 {
+                merged.pop();
             }
         }
     }
-    best
+    if merged.len() <= CAND_K {
+        list.rho_dist = f64::INFINITY;
+        list.rho_owner = u32::MAX;
+    } else {
+        let (bd, bo) = merged.pop().expect("len > CAND_K");
+        list.rho_dist = bd;
+        list.rho_owner = bo;
+    }
+    list.entries.clear();
+    list.entries.extend(merged.iter().map(|&(d, o)| CandEntry {
+        dist: d,
+        owner: o,
+        rep_gen: rep_gens[o as usize],
+    }));
+    match list.entries.first() {
+        Some(e) => (e.owner as usize, e.dist),
+        None => (usize::MAX, f64::INFINITY),
+    }
+}
+
+/// Serves a consumed or trimmed-away closest pointer from the candidate
+/// cache: drops invalid head entries (owner inactive, or reshaped since
+/// its distance was cached) until the first valid one — by the coverage
+/// invariant the exact lexicographic `(dist, id)` minimum over all active
+/// clusters — and rebuilds from the index only when the cache runs dry.
+fn fallback_closest(
+    index: &RepIndex,
+    id: usize,
+    clusters: &[Agglo],
+    rep_gens: &[u32],
+    list: &mut CandList,
+    tally: &mut Tally,
+) -> (usize, f64) {
+    while let Some(e) = list.entries.first() {
+        let owner = e.owner as usize;
+        if clusters[owner].active && rep_gens[owner] == e.rep_gen {
+            tally.add(Counter::CandidateHits, 1);
+            return (owner, e.dist);
+        }
+        list.entries.remove(0);
+    }
+    rebuild_candidates(index, id, &clusters[id].reps, rep_gens, list, tally)
+}
+
+/// Inserts the pair `(dist, owner)` into `list` if it lies below the
+/// coverage bound, replacing any stale entry for the same owner; on
+/// overflow past [`CAND_K`] the worst entry is dropped and its pair becomes
+/// the new (tighter) bound, which preserves the coverage invariant: an
+/// *active* owner whose stale entry is dropped must have a current pair at
+/// or above the old bound (the post-merge sweep refreshed it otherwise), so
+/// tightening the bound never uncovers it.
+fn insert_candidate(list: &mut CandList, dist: f64, owner: u32, rep_gen: u32) {
+    if !pair_lt(dist, owner, list.rho_dist, list.rho_owner) {
+        return;
+    }
+    if let Some(pos) = list.entries.iter().position(|e| e.owner == owner) {
+        list.entries.remove(pos);
+    }
+    let at = list
+        .entries
+        .partition_point(|e| pair_lt(e.dist, e.owner, dist, owner));
+    list.entries.insert(
+        at,
+        CandEntry {
+            dist,
+            owner,
+            rep_gen,
+        },
+    );
+    if list.entries.len() > CAND_K {
+        let w = list.entries.pop().expect("overflow");
+        list.rho_dist = w.dist;
+        list.rho_owner = w.owner;
+    }
 }
 
 /// Resumable noise-trim trigger state: the next squared-distance threshold
@@ -595,10 +750,28 @@ pub(crate) fn run_merge_loop(
     for (id, c) in clusters.iter().enumerate() {
         index.insert_all(id as u32, &c.reps);
     }
+    // The auto-sized resolution targets ~2 reps/cell, but in high dimension
+    // the cell count jumps in huge steps (2^d); coarsen immediately if the
+    // initial fill cannot justify the grid, rather than only after trims.
+    index.maybe_coarsen();
+
+    // Candidate caches (see [`CandList`]): `rep_gens` counts *reshapes* of
+    // each cluster's representative set, bumped only by merges — distinct
+    // from the heap `gens`, which bump on every pointer change and would
+    // falsely invalidate cached pairs whose geometry is unchanged.
+    let mut rep_gens: Vec<u32> = vec![0; n];
+    let mut cands: Vec<CandList> = (0..n).map(|_| CandList::empty()).collect();
 
     if reseed_pointers {
         for id in 0..n {
-            let (j, d) = recompute_via_index(&index, id, &clusters[id].reps, tally);
+            let (j, d) = rebuild_candidates(
+                &index,
+                id,
+                &clusters[id].reps,
+                &rep_gens,
+                &mut cands[id],
+                tally,
+            );
             clusters[id].closest = j;
             clusters[id].closest_dist = d;
         }
@@ -688,12 +861,21 @@ pub(crate) fn run_merge_loop(
             }
             if !trimmed.is_empty() {
                 index.maybe_coarsen();
-                // Refresh stale closest pointers into trimmed clusters.
+                // Refresh stale closest pointers into trimmed clusters. No
+                // cluster reshaped since the last broadcast (trims only
+                // deactivate), so the candidate cache serves these exactly.
                 for p in 0..active_ids.len() {
                     let id = active_ids[p] as usize;
                     if clusters[id].closest != usize::MAX && !clusters[clusters[id].closest].active
                     {
-                        let (j, d) = recompute_via_index(&index, id, &clusters[id].reps, tally);
+                        let (j, d) = fallback_closest(
+                            &index,
+                            id,
+                            clusters,
+                            &rep_gens,
+                            &mut cands[id],
+                            tally,
+                        );
                         clusters[id].closest = j;
                         clusters[id].closest_dist = d;
                         gens[id] += 1;
@@ -723,16 +905,27 @@ pub(crate) fn run_merge_loop(
         index.remove_all(v as u32, &clusters[v].reps);
         deactivate(&mut active_ids, &mut active_pos, v);
         apply_merge(data, clusters, u, v, config);
+        rep_gens[u] += 1;
+        cands[v] = CandList::empty();
         tally.add(Counter::ClusterMerges, 1);
         live -= 1;
         index.insert_all(u as u32, &clusters[u].reps);
         bboxes[u] = reps_bbox(&clusters[u].reps, dim);
         index.maybe_coarsen();
 
-        // Refresh closest pointers: u itself, plus anyone pointing at u/v,
-        // plus anyone the reshaped u is now closer to than their cached
-        // closest (bbox-pruned exact check).
-        let (j, d) = recompute_via_index(&index, u, &clusters[u].reps, tally);
+        // Refresh closest pointers: u itself (every distance it cached was
+        // measured against its old reps — rebuild from scratch), plus
+        // anyone pointing at u/v (served from their candidate cache), plus
+        // anyone the reshaped u is now closer to than their cached closest
+        // or candidate coverage bound (bbox-pruned exact check).
+        let (j, d) = rebuild_candidates(
+            &index,
+            u,
+            &clusters[u].reps,
+            &rep_gens,
+            &mut cands[u],
+            tally,
+        );
         clusters[u].closest = j;
         clusters[u].closest_dist = d;
         gens[u] += 1;
@@ -742,24 +935,37 @@ pub(crate) fn run_merge_loop(
             if id == u {
                 continue;
             }
-            if clusters[id].closest == u || clusters[id].closest == v {
-                let (j, d) = recompute_via_index(&index, id, &clusters[id].reps, tally);
+            let consumed = clusters[id].closest == u || clusters[id].closest == v;
+            // The reshaped u must (re-)enter id's candidate list whenever
+            // its new pair undercuts the coverage bound, or the list would
+            // claim coverage it no longer has. The slack applies only to
+            // the bbox lower bound; insertion and pointer updates compare
+            // exact distances, so exact-duplicate ties (lb == 0) can never
+            // flip which cluster wins.
+            let lb = bbox_gap_sq(&bboxes[id], &bboxes[u]);
+            let near_list = lb <= cands[id].rho_dist * BBOX_PRUNE_SLACK;
+            let near_ptr = !consumed && lb <= clusters[id].closest_dist * BBOX_PRUNE_SLACK;
+            if near_list || near_ptr {
+                let d = cluster_dist(&clusters[id], &clusters[u]);
+                if near_list {
+                    insert_candidate(&mut cands[id], d, u as u32, rep_gens[u]);
+                }
+                // Strict `<` keeps the incumbent on exact ties, matching
+                // the reference broadcast.
+                if !consumed && d < clusters[id].closest_dist {
+                    clusters[id].closest = u;
+                    clusters[id].closest_dist = d;
+                    gens[id] += 1;
+                    push_current(&mut heap, &gens, clusters, id);
+                }
+            }
+            if consumed {
+                let (j, d) =
+                    fallback_closest(&index, id, clusters, &rep_gens, &mut cands[id], tally);
                 clusters[id].closest = j;
                 clusters[id].closest_dist = d;
                 gens[id] += 1;
                 push_current(&mut heap, &gens, clusters, id);
-            } else {
-                // u changed shape; it may now be closer than the cached one.
-                let lb = bbox_gap_sq(&bboxes[id], &bboxes[u]);
-                if lb <= clusters[id].closest_dist * BBOX_PRUNE_SLACK {
-                    let d = cluster_dist(&clusters[id], &clusters[u]);
-                    if d < clusters[id].closest_dist {
-                        clusters[id].closest = u;
-                        clusters[id].closest_dist = d;
-                        gens[id] += 1;
-                        push_current(&mut heap, &gens, clusters, id);
-                    }
-                }
             }
         }
     }

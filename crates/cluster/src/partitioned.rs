@@ -34,11 +34,16 @@
 //!   state) across the phase boundary, making phase B a pure continuation
 //!   of the single-phase loop. Recomputing pointers instead could diverge
 //!   on exact distance ties: a maintained pointer keeps its incumbent,
-//!   while a fresh lex-min computation picks the lowest id;
+//!   while a fresh lex-min computation picks the lowest id. The merge
+//!   loop's candidate caches need no remapping: they are loop-local
+//!   (rebuilt lazily inside each `run_merge_loop` invocation), and a
+//!   candidate fallback returns the same lex-min pair a full rescan would,
+//!   so the continuation semantics are unchanged;
 //! * for `p > 1` the carried pointers are partition-local, so phase B
 //!   reseeds every pointer as the lexicographic `(dist, id)` minimum via
 //!   the rep index before merging — deterministic regardless of insertion
-//!   or thread order;
+//!   or thread order (the reseed doubles as the candidate-cache warmup:
+//!   each cluster's list is rebuilt from its k-nearest query);
 //! * the map-back noise threshold is calibrated on the sample clustering
 //!   itself: the largest squared distance from any sample member to the
 //!   nearest representative of **its own** cluster, times a fixed slack.

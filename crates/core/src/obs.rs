@@ -59,6 +59,12 @@ pub enum Counter {
     HeapStalePops,
     /// Nearest-owner queries against the representative-point grid index.
     RepIndexQueries,
+    /// Consumed closest pointers served from a cluster's cached candidate
+    /// list (no index rescan needed).
+    CandidateHits,
+    /// Full k-nearest candidate-list rebuilds against the rep index — the
+    /// broadcast rescans that remain after candidate fallback.
+    CandidateRebuilds,
     /// Cluster merges performed by the agglomeration loop.
     ClusterMerges,
     /// Ball integrals skipped by the outlier detector's density prefilter.
@@ -87,7 +93,7 @@ pub enum Counter {
 }
 
 /// Number of counters in the catalog.
-pub const COUNTER_COUNT: usize = 20;
+pub const COUNTER_COUNT: usize = 22;
 
 impl Counter {
     /// Every counter, in catalog (discriminant) order.
@@ -102,6 +108,8 @@ impl Counter {
         Counter::HeapPops,
         Counter::HeapStalePops,
         Counter::RepIndexQueries,
+        Counter::CandidateHits,
+        Counter::CandidateRebuilds,
         Counter::ClusterMerges,
         Counter::PrefilterSkips,
         Counter::OutlierCandidates,
@@ -127,6 +135,8 @@ impl Counter {
             Counter::HeapPops => "heap_pops",
             Counter::HeapStalePops => "heap_stale_pops",
             Counter::RepIndexQueries => "rep_index_queries",
+            Counter::CandidateHits => "candidate_hits",
+            Counter::CandidateRebuilds => "candidate_rebuilds",
             Counter::ClusterMerges => "cluster_merges",
             Counter::PrefilterSkips => "prefilter_skips",
             Counter::OutlierCandidates => "outlier_candidates",

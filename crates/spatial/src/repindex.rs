@@ -149,8 +149,17 @@ impl RepIndex {
     /// ring search of [`RepIndex::nearest_owner_sq`] never wades through a
     /// sea of empty cells late in a merge run. Query results are unaffected
     /// (the query is exact at any resolution); call freely.
+    ///
+    /// Coarsening is allowed all the way down to one cell per dimension
+    /// (a single-cell grid, i.e. a plain linear scan). That last step
+    /// matters in high dimension: at d = 16 even two cells per dimension
+    /// is 2^16 buckets, which a few thousand points can never fill, and a
+    /// former `>= 4` guard here kept such indexes stuck at a resolution
+    /// where every ring expansion crawled tens of thousands of empty
+    /// cells — the merge-loop cliff ROADMAP.md recorded between n = 1200
+    /// (resolution 1) and n = 1500 (resolution 2).
     pub fn maybe_coarsen(&mut self) {
-        while self.cells_per_dim >= 4 && self.len * 8 < self.owners.len() {
+        while self.cells_per_dim >= 2 && self.len * 8 < self.owners.len() {
             let mut rebuilt = Self::with_resolution(self.domain.clone(), self.cells_per_dim / 2);
             for (cell, owners) in self.owners.iter().enumerate() {
                 let coords = &self.coords[cell];
@@ -185,62 +194,94 @@ impl RepIndex {
         exclude: u32,
         evals: &mut u64,
     ) -> Option<(u32, f64)> {
-        debug_assert_eq!(query.len(), self.dim);
-        let dim = self.dim;
-        let mut best_d = f64::INFINITY;
-        let mut best_owner = u32::MAX;
-        let mut found = false;
+        self.knearest_owners_sq_counted(query, exclude, 1, evals)
+            .first()
+            .copied()
+    }
 
+    /// The `k` nearest *distinct owners* to `query`, excluding `exclude`.
+    ///
+    /// Each owner appears once, at its minimum squared distance over all its
+    /// indexed reps. The result is ascending in the lexicographic
+    /// `(squared_distance, owner)` order — the exact top-`k` of that order
+    /// over all other owners, so `result[0]` is what
+    /// [`RepIndex::nearest_owner_sq`] returns. Returns fewer than `k` pairs
+    /// when fewer other owners are indexed.
+    pub fn knearest_owners_sq(&self, query: &[f64], exclude: u32, k: usize) -> Vec<(u32, f64)> {
+        let mut evals = 0u64;
+        self.knearest_owners_sq_counted(query, exclude, k, &mut evals)
+    }
+
+    /// [`RepIndex::knearest_owners_sq`] that also adds the number of
+    /// rep-point distance evaluations performed to `*evals`.
+    pub fn knearest_owners_sq_counted(
+        &self,
+        query: &[f64],
+        exclude: u32,
+        k: usize,
+        evals: &mut u64,
+    ) -> Vec<(u32, f64)> {
+        debug_assert_eq!(query.len(), self.dim);
+        if k == 0 {
+            return Vec::new();
+        }
+        let dim = self.dim;
+        // Ascending by (dist, owner); at most one entry per owner (its
+        // minimum distance), at most `k` entries total.
+        let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
         let mut spent = 0u64;
-        let mut scan_cell = |cell: usize, best_d: &mut f64, best_owner: &mut u32| {
-            let owners = &self.owners[cell];
-            let coords = &self.coords[cell];
-            for (slot, &owner) in owners.iter().enumerate() {
-                if owner == exclude {
-                    continue;
-                }
-                spent += 1;
-                let d = euclidean_sq(query, &coords[slot * dim..(slot + 1) * dim]);
-                if d < *best_d || (d == *best_d && owner < *best_owner) {
-                    *best_d = d;
-                    *best_owner = owner;
-                }
-            }
-        };
 
         // Expanding ring search in cell space (Chebyshev rings around the
         // query's cell). A ring may only be skipped once no cell in it can
-        // contain a rep at distance <= best_d — `<=`, not `<`, because an
-        // equal-distance rep with a lower owner id would change the
-        // tie-break.
+        // contain a rep at distance <= the current k-th best — `<=`, not
+        // `<`, because an equal-distance rep with a lower owner id would
+        // change the tie-break.
         let center: Vec<usize> = (0..dim).map(|j| self.cell_coord(j, query[j])).collect();
         let max_ring = self.cells_per_dim; // rings beyond this are empty
-        let mut coords_buf = vec![0usize; dim];
         for ring in 0..=max_ring {
-            if found {
+            if best.len() == k {
                 let lb = self.ring_lower_bound_sq(query, &center, ring);
-                if lb > best_d {
+                if lb > best[k - 1].0 {
                     break;
                 }
             }
             let mut any_cell = false;
-            self.for_each_ring_cell(&center, ring, &mut coords_buf, |cell| {
+            self.for_each_ring_cell(&center, ring, |cell| {
                 any_cell = true;
-                scan_cell(cell, &mut best_d, &mut best_owner);
+                let owners = &self.owners[cell];
+                let coords = &self.coords[cell];
+                for (slot, &owner) in owners.iter().enumerate() {
+                    if owner == exclude {
+                        continue;
+                    }
+                    spent += 1;
+                    let d = euclidean_sq(query, &coords[slot * dim..(slot + 1) * dim]);
+                    if let Some(pos) = best.iter().position(|&(_, o)| o == owner) {
+                        // Keep only the owner's minimum distance; owners are
+                        // unique, so the pair comparison needs no id term.
+                        if d >= best[pos].0 {
+                            continue;
+                        }
+                        best.remove(pos);
+                    } else if best.len() == k {
+                        let (wd, wo) = best[k - 1];
+                        if d > wd || (d == wd && owner > wo) {
+                            continue;
+                        }
+                    }
+                    let at = best.partition_point(|&(bd, bo)| bd < d || (bd == d && bo < owner));
+                    best.insert(at, (d, owner));
+                    if best.len() > k {
+                        best.pop();
+                    }
+                }
             });
-            if best_owner != u32::MAX {
-                found = true;
-            }
             if !any_cell {
                 break; // ring entirely outside the grid: nothing further out
             }
         }
         *evals += spent;
-        if best_owner == u32::MAX {
-            None
-        } else {
-            Some((best_owner, best_d))
-        }
+        best.into_iter().map(|(d, o)| (o, d)).collect()
     }
 
     /// Lower bound on the squared distance from `query` to any point in a
@@ -282,66 +323,72 @@ impl RepIndex {
     }
 
     /// Visits every in-grid cell at Chebyshev ring `ring` around `center`.
-    fn for_each_ring_cell(
-        &self,
-        center: &[usize],
-        ring: usize,
-        coords: &mut [usize],
-        mut visit: impl FnMut(usize),
-    ) {
+    ///
+    /// Enumeration is by shell faces: each shell cell has some lowest
+    /// dimension pinned at offset ±`ring`, so for every (pinned dimension,
+    /// side) pair we walk an odometer over the remaining dimensions —
+    /// earlier dimensions confined strictly inside the shell, later ones
+    /// spanning the full `±ring` box — with every per-dimension range
+    /// clamped to the grid up front. Each shell cell is visited exactly
+    /// once and the walk costs only the in-grid cells it yields. (A
+    /// previous version iterated the full `(2r+1)^d` offset box and
+    /// filtered; at d = 16 that is 3^16 ≈ 43M offsets for ring 1 alone,
+    /// which was the dominant cost of the high-dimension merge-loop cliff.)
+    fn for_each_ring_cell(&self, center: &[usize], ring: usize, mut visit: impl FnMut(usize)) {
         let dim = self.dim;
         let cpd = self.cells_per_dim as isize;
         let r = ring as isize;
-        // Iterate the (2r+1)^d offset box with an odometer, keeping only
-        // offsets whose Chebyshev norm is exactly r and whose cell is in
-        // the grid.
-        let lo: Vec<isize> = center.iter().map(|&c| c as isize - r).collect();
-        let hi: Vec<isize> = center.iter().map(|&c| c as isize + r).collect();
-        let mut off = lo.clone();
-        'odometer: loop {
-            let mut on_shell = false;
-            let mut in_grid = true;
-            for j in 0..dim {
-                let c = off[j];
-                if c < 0 || c >= cpd {
-                    in_grid = false;
-                    break;
-                }
-                if (c - center[j] as isize).abs() == r {
-                    on_shell = true;
-                }
-                coords[j] = c as usize;
+        if ring == 0 {
+            // `center` comes from `cell_coord`, so it is always in-grid.
+            let mut cell = 0usize;
+            for &c in center {
+                cell = cell * self.cells_per_dim + c;
             }
-            if in_grid && (on_shell || r == 0) {
-                let mut cell = 0usize;
-                for &c in coords.iter() {
-                    cell = cell * self.cells_per_dim + c;
+            visit(cell);
+            return;
+        }
+        let mut lo = vec![0isize; dim];
+        let mut hi = vec![0isize; dim];
+        for pin in 0..dim {
+            'side: for side in [-r, r] {
+                let pinned = center[pin] as isize + side;
+                if pinned < 0 || pinned >= cpd {
+                    continue;
                 }
-                visit(cell);
-            }
-            // Advance; skip the interior of the box wholesale where
-            // possible: once every leading dimension is strictly inside the
-            // shell, the last dimension only takes its two shell values.
-            let mut j = dim;
-            loop {
-                if j == 0 {
-                    break 'odometer;
-                }
-                j -= 1;
-                if j == dim - 1 && r > 0 {
-                    // Fast-advance the innermost dimension across the
-                    // interior when no outer dimension pins us to the shell.
-                    let outer_on_shell =
-                        (0..dim - 1).any(|t| (off[t] - center[t] as isize).abs() == r);
-                    if !outer_on_shell && off[j] == lo[j] {
-                        off[j] = hi[j];
-                        continue 'odometer;
+                for t in 0..dim {
+                    if t == pin {
+                        lo[t] = pinned;
+                        hi[t] = pinned;
+                        continue;
+                    }
+                    // Dimensions below the pin stay strictly inside the
+                    // shell (their ±r faces belong to an earlier pin).
+                    let slack = if t < pin { r - 1 } else { r };
+                    lo[t] = (center[t] as isize - slack).max(0);
+                    hi[t] = (center[t] as isize + slack).min(cpd - 1);
+                    if lo[t] > hi[t] {
+                        continue 'side;
                     }
                 }
-                if off[j] < hi[j] {
-                    off[j] += 1;
-                    off[(j + 1)..dim].copy_from_slice(&lo[(j + 1)..dim]);
-                    continue 'odometer;
+                let mut off = lo.clone();
+                'odometer: loop {
+                    let mut cell = 0usize;
+                    for &c in off.iter() {
+                        cell = cell * self.cells_per_dim + c as usize;
+                    }
+                    visit(cell);
+                    let mut j = dim;
+                    loop {
+                        if j == 0 {
+                            break 'odometer;
+                        }
+                        j -= 1;
+                        if off[j] < hi[j] {
+                            off[j] += 1;
+                            off[(j + 1)..dim].copy_from_slice(&lo[(j + 1)..dim]);
+                            continue 'odometer;
+                        }
+                    }
                 }
             }
         }
@@ -512,5 +559,90 @@ mod tests {
         }
         let (owner, d) = index.nearest_owner_sq(&[0.2, 0.2], 7).unwrap();
         assert_eq!((owner, d), (0, 0.0));
+    }
+
+    /// Reference k-nearest-owners: per-owner min distance, lexicographic
+    /// `(dist, owner)` order, top `k`.
+    fn brute_knearest(
+        points: &[(u32, Vec<f64>)],
+        query: &[f64],
+        exclude: u32,
+        k: usize,
+    ) -> Vec<(u32, f64)> {
+        let mut per_owner: std::collections::BTreeMap<u32, f64> = Default::default();
+        for (owner, p) in points {
+            if *owner == exclude {
+                continue;
+            }
+            let d = euclidean_sq(query, p);
+            per_owner
+                .entry(*owner)
+                .and_modify(|best| *best = best.min(d))
+                .or_insert(d);
+        }
+        let mut pairs: Vec<(f64, u32)> = per_owner.into_iter().map(|(o, d)| (d, o)).collect();
+        pairs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        pairs.truncate(k);
+        pairs.into_iter().map(|(d, o)| (o, d)).collect()
+    }
+
+    #[test]
+    fn knearest_matches_linear_scan_including_high_dim() {
+        for dim in [1usize, 2, 5, 12, 16] {
+            let points = random_points(120, dim, 101 + dim as u64);
+            let mut index = RepIndex::new(BoundingBox::unit(dim), 120);
+            for (owner, p) in &points {
+                index.insert(*owner, p);
+            }
+            let mut rng = seeded(77 + dim as u64);
+            for _ in 0..15 {
+                let q: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+                let exclude = rng.gen_range(0..45u32);
+                for k in [1usize, 3, 9, 64] {
+                    assert_eq!(
+                        index.knearest_owners_sq(&q, exclude, k),
+                        brute_knearest(&points, &q, exclude, k),
+                        "dim={dim} k={k} exclude={exclude}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knearest_all_duplicates_breaks_ties_by_owner() {
+        // Every owner at the same 16-d point: all distances tie at zero, so
+        // the top-k must be the k lowest owner ids (minus the exclusion).
+        let dim = 16;
+        let mut index = RepIndex::new(BoundingBox::unit(dim), 64);
+        let p = vec![0.3; dim];
+        for owner in 0..20u32 {
+            index.insert(owner, &p);
+        }
+        let got = index.knearest_owners_sq(&p, 2, 5);
+        let want: Vec<(u32, f64)> = [0u32, 1, 3, 4, 5].iter().map(|&o| (o, 0.0)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn coarsens_to_single_cell_when_sparse() {
+        // High dimension: 2 cells/dim is already 2^12 buckets, far more
+        // than 8x the point count, so coarsening must reach resolution 1.
+        let dim = 12;
+        let mut index = RepIndex::with_resolution(BoundingBox::unit(dim), 2);
+        let points = random_points(100, dim, 55);
+        for (owner, p) in &points {
+            index.insert(*owner, p);
+        }
+        index.maybe_coarsen();
+        assert_eq!(index.cells_per_dim, 1, "sparse index should fully coarsen");
+        let mut rng = seeded(56);
+        for _ in 0..10 {
+            let q: Vec<f64> = (0..dim).map(|_| rng.gen::<f64>()).collect();
+            assert_eq!(
+                index.nearest_owner_sq(&q, u32::MAX),
+                brute_nearest(&points, &q, u32::MAX)
+            );
+        }
     }
 }

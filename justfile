@@ -49,6 +49,15 @@ bench-cure-part:
 bench-agrid:
     CRITERION_JSON=BENCH_agrid.json cargo bench -p dbs-bench --bench agrid
 
+# High-dimension CURE merge-loop curve: tight 16-d (and 12-d) diagonal
+# blobs, wall clock + merge-loop counters per size, plus the d=16/n=2000
+# bit-parity proof against the reference loop. The recorded
+# BENCH_cure_highdim.json holds the pre-candidate-cache cliff curve
+# (CURE_HIGHDIM_PHASE=before, budget-capped) and the post-fix curve side
+# by side; CURE_HIGHDIM_SMOKE=1 runs only the CI regression gate.
+bench-cure-highdim:
+    CRITERION_JSON=BENCH_cure_highdim.json cargo bench -p dbs-bench --bench cure_highdim
+
 # Out-of-core proof: a 10M-point (16-d) sample-fed clustering run over
 # read-backend shards with peak RSS measured against the raw dataset size
 # (< 25% target), plus sharded-vs-in-memory wall times and the

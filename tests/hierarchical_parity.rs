@@ -10,15 +10,20 @@
 use std::num::NonZeroUsize;
 
 use dbs_cluster::{
-    hierarchical_cluster, hierarchical_cluster_reference, partitioned_cluster, sample_target_size,
-    HierarchicalConfig,
+    hierarchical_cluster, hierarchical_cluster_obs, hierarchical_cluster_reference,
+    partitioned_cluster, sample_target_size, HierarchicalConfig,
 };
+use dbs_core::obs::{Counter, Recorder};
 use dbs_core::rng::seeded;
 use dbs_core::Dataset;
 use proptest::prelude::*;
 use rand::Rng;
 
 const DIMS: [usize; 3] = [2, 3, 5];
+/// High-dimensional parity dims: tight blobs at these dims are the
+/// candidate-cache stress case (the pre-candidate scheme degenerated here —
+/// the 16-d merge-loop cliff).
+const HIGH_DIMS: [usize; 2] = [12, 16];
 const THREADS: [usize; 3] = [1, 2, 7];
 
 fn nz(t: usize) -> NonZeroUsize {
@@ -46,6 +51,25 @@ fn workload(n: usize, dim: usize, seed: u64) -> Dataset {
     for _ in 0..strays {
         for x in p.iter_mut() {
             *x = rng.gen::<f64>();
+        }
+        ds.push(&p).expect("fixed dim");
+    }
+    ds
+}
+
+/// Tight high-dimensional blobs on the unit diagonal (the shard bench's
+/// mixture shape): intra-blob distances concentrate hard with dimension, so
+/// closest pointers are consumed in bursts and the merge loop leans on the
+/// candidate cache for nearly every merge.
+fn tight_blobs(n: usize, dim: usize, seed: u64) -> Dataset {
+    let blobs = 8usize;
+    let mut rng = seeded(seed);
+    let mut ds = Dataset::with_capacity(dim, n);
+    let mut p = vec![0.0f64; dim];
+    for i in 0..n {
+        let center = (((i % blobs) as f64) + 0.5) / blobs as f64;
+        for x in p.iter_mut() {
+            *x = center + (rng.gen::<f64>() - 0.5) * 0.03;
         }
         ds.push(&p).expect("fixed dim");
     }
@@ -150,4 +174,103 @@ proptest! {
             }
         }
     }
+
+    /// High-dimensional tight blobs: accelerated core ≡ reference loop, bit
+    /// for bit, at dims {12, 16} — the workload where consumed closest
+    /// pointers dominate and every answer flows through the candidate cache.
+    #[test]
+    fn high_dim_tight_blobs_are_bit_identical(seed in 0u64..10_000) {
+        for dim in HIGH_DIMS {
+            let data = tight_blobs(280, dim, seed ^ (dim as u64) << 24);
+            for trim_min_size in [3usize, 0] {
+                let mut base = HierarchicalConfig::paper_defaults(8);
+                base.trim_min_size = trim_min_size;
+                let reference = hierarchical_cluster_reference(
+                    &data,
+                    &base.clone().with_parallelism(nz(1)),
+                )
+                .expect("reference clustering");
+                let want = fingerprint(&reference);
+                for t in THREADS {
+                    let fast = hierarchical_cluster(
+                        &data,
+                        &base.clone().with_parallelism(nz(t)),
+                    )
+                    .expect("accelerated clustering");
+                    prop_assert_eq!(
+                        &fingerprint(&fast),
+                        &want,
+                        "dim {} trim_min_size {} threads {}",
+                        dim,
+                        trim_min_size,
+                        t
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// All points exactly equal in 16 dimensions: every pairwise distance is
+/// 0.0 and every bbox lower bound is 0, so the merge sequence is pure
+/// lexicographic tie-breaking through the candidate path (the prune slack
+/// multiplies a zero bound and can never skip a pair; candidate fallback
+/// must return the same lowest-id incumbent the reference scan picks).
+#[test]
+fn all_duplicate_points_16d_bit_identical() {
+    let rows = vec![vec![0.375; 16]; 80];
+    let data = Dataset::from_rows(&rows).expect("valid rows");
+    for trim_min_size in [3usize, 0] {
+        let mut base = HierarchicalConfig::paper_defaults(4);
+        base.trim_min_size = trim_min_size;
+        let reference =
+            hierarchical_cluster_reference(&data, &base.clone().with_parallelism(nz(1)))
+                .expect("reference clustering");
+        let want = fingerprint(&reference);
+        for t in THREADS {
+            let fast = hierarchical_cluster(&data, &base.clone().with_parallelism(nz(t)))
+                .expect("accelerated clustering");
+            assert_eq!(
+                fingerprint(&fast),
+                want,
+                "trim_min_size {trim_min_size} threads {t}"
+            );
+        }
+    }
+}
+
+/// Regression gate for the 16-d merge-loop cliff, in counters rather than
+/// wall clock: on a tight 16-d blob the full candidate-list rebuilds (the
+/// broadcast rescans that survive candidate fallback) must stay
+/// sub-quadratic — doubling n from 800 to 1600 must grow rebuilds by well
+/// under 4x, and rebuilds must stay a small multiple of the merge count.
+/// The pre-candidate loop recomputed via the index on *every* consumed
+/// pointer, which this bound rejects.
+#[test]
+fn high_dim_candidate_rebuilds_stay_subquadratic() {
+    let rebuilds_and_merges = |n: usize| {
+        let data = tight_blobs(n, 16, 4242);
+        let rec = Recorder::enabled();
+        let cfg = HierarchicalConfig::paper_defaults(8).with_parallelism(nz(1));
+        hierarchical_cluster_obs(&data, &cfg, &rec).expect("accelerated clustering");
+        (
+            rec.counter(Counter::CandidateRebuilds),
+            rec.counter(Counter::ClusterMerges),
+            rec.counter(Counter::CandidateHits),
+        )
+    };
+    let (r800, m800, h800) = rebuilds_and_merges(800);
+    let (r1600, m1600, h1600) = rebuilds_and_merges(1600);
+    assert!(h800 > 0 && h1600 > 0, "candidate cache never hit");
+    // Rebuild growth tracks the merge count (linear in n), not its square.
+    assert!(
+        r1600 < r800 * 3,
+        "rebuilds grew {r800} -> {r1600} when doubling n: super-linear"
+    );
+    // Absolute bound: a handful of rebuilds per merge (u's own rebuild plus
+    // occasional cache exhaustion), not one per live cluster per merge.
+    assert!(
+        r800 < m800 * 6 && r1600 < m1600 * 6,
+        "rebuilds per merge too high: {r800}/{m800}, {r1600}/{m1600}"
+    );
 }
