@@ -29,6 +29,10 @@ pub enum Command {
     Outliers,
     /// Evaluate the density estimate at a point.
     Density,
+    /// Ingest the input as an unbounded stream: build a density sketch and
+    /// a reservoir in one bounded-memory pass, then draw a biased sample
+    /// off the sketch.
+    Stream,
 }
 
 impl Command {
@@ -40,6 +44,7 @@ impl Command {
             "cluster" => Some(Command::Cluster),
             "outliers" => Some(Command::Outliers),
             "density" => Some(Command::Density),
+            "stream" => Some(Command::Stream),
             _ => None,
         }
     }
@@ -87,11 +92,23 @@ commands:
   density   evaluate the density estimate
               --at X,Y,...    query point (original coordinates)
               --kernels K     kernel centers (default 1000, kde only)
+  stream    treat the input as an unbounded stream: one bounded-memory
+            ingest pass builds a Count-Min density sketch plus a uniform
+            reservoir (never materializing the data), then one more pass
+            draws a density-biased sample off the sketch
+              --size N        target biased sample size (default 1000)
+              --exponent A    bias exponent a (default 1.0; 0 = uniform)
+              --reservoir N   uniform reservoir size (default 1000)
+              --estimator SPEC  must be sketch[:grids[:slots]]
+                              (default sketch)
+              --output FILE   write sampled points (text format)
+              --weights FILE  also write the 1/p importance weights
+              --reservoir-out FILE  write the uniform reservoir too
 common options:
   --estimator SPEC    density backend: kde[:centers], grid[:res],
-                      hashgrid[:res[:slots]], wavelet[:levels[:coeffs]], or
-                      agrid[:grids[:res]] (default kde; bare kde honors
-                      --kernels)
+                      hashgrid[:res[:slots]], wavelet[:levels[:coeffs]],
+                      agrid[:grids[:res]], or sketch[:grids[:slots]]
+                      (default kde; bare kde honors --kernels)
   --seed N            RNG seed (default 0)
   --threads N         worker threads (default: all available cores; results
                       are identical for every value)

@@ -18,11 +18,13 @@ use dbs_cluster::{
 };
 use dbs_core::io::{read_text, write_text, FileSource};
 use dbs_core::normalize::ScaledSource;
-use dbs_core::obs::Recorder;
+use dbs_core::obs::{Counter, Recorder};
+use dbs_core::rng::{seeded, sub_seed};
 use dbs_core::{par, shard, BoundingBox, Dataset, MinMaxScaler, PointSource, ShardedSource};
-use dbs_density::{DensityEstimator, EstimatorSpec};
+use dbs_density::{DensityEstimator, DensitySketch, EstimatorKind, EstimatorSpec, SketchConfig};
 use dbs_outlier::{approx_outliers_obs, ApproxConfig, DbOutlierParams};
-use dbs_sampling::{density_biased_sample_obs, BiasedConfig};
+use dbs_sampling::{density_biased_sample_obs, one_pass_biased_sample_obs, BiasedConfig};
+use rand::Rng;
 
 use crate::args::{Command, ParsedArgs};
 
@@ -130,6 +132,7 @@ pub fn run(args: &ParsedArgs, out: &mut dyn Write) -> Result<(), String> {
         Command::Cluster => cluster(args, &input, &rec, out),
         Command::Outliers => outliers(args, &input, &rec, out),
         Command::Density => density(args, &input, &rec, out),
+        Command::Stream => stream(args, &input, &rec, out),
     }?;
     if let Some(path) = metrics_path {
         let report = rec.snapshot().expect("recorder enabled when path given");
@@ -485,6 +488,157 @@ fn outliers(
         scaler.transform_point(&mut scratch);
         scaler.inverse_point(&mut scratch);
         writeln!(out, "  #{i}: {scratch:?}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// The streaming-service path: treat the input as an unbounded stream.
+///
+/// One fused bounded-memory pass builds the Count-Min density sketch
+/// (`update` per point) *and* an Algorithm R uniform reservoir — nothing
+/// is ever materialized, so memory is `grids * slots` counters plus the
+/// reservoir however long the stream. A second pass draws the paper's
+/// one-pass density-biased sample straight off the sketch
+/// (`summary_normalizer` replaces the normalizer pass). Together with the
+/// min-max scaler pass that every command shares, that is three bounded
+/// scans of the source and the paper's "at most two passes" once the
+/// summary exists.
+fn stream(
+    args: &ParsedArgs,
+    input: &Input,
+    rec: &Recorder,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let scaler = fit_scaler(input, args)?;
+    let scaled = scale_input(input, &scaler)?;
+    let src = scaled.source();
+    let dim = src.dim();
+
+    let raw = args.get_str("estimator").unwrap_or("sketch");
+    let spec = EstimatorSpec::parse(raw).map_err(|e| e.to_string())?;
+    let (grids, slots) = match spec.kind {
+        EstimatorKind::Sketch { grids, slots } => (grids, slots),
+        _ => {
+            let msg = "stream ingests into a sketch; \
+                       --estimator must be sketch[:grids[:slots]]";
+            return Err(format!("{msg}, got {raw}"));
+        }
+    };
+    let seed = args.get_u64("seed", 0)?;
+    let sketch_cfg = SketchConfig {
+        grids,
+        slots,
+        resolution: None,
+        domain: Some(BoundingBox::unit(dim)),
+        seed,
+    };
+    let mut sketch = DensitySketch::new(dim, &sketch_cfg).map_err(|e| e.to_string())?;
+
+    let r_size = args.get_usize("reservoir", 1000)?;
+    if r_size == 0 {
+        return Err("--reservoir must be >= 1".to_string());
+    }
+
+    // Fused ingest pass: sketch update + Algorithm R in a single scan.
+    // The reservoir RNG is a sub-stream of the seed so it never collides
+    // with the sampler's keyed inclusion draws.
+    let mut rng = seeded(sub_seed(seed, 1));
+    let mut res_points = Dataset::with_capacity(dim, r_size.min(src.len()));
+    let mut res_indices: Vec<usize> = Vec::with_capacity(r_size.min(src.len()));
+    let mut bad: Option<(usize, String)> = None;
+    rec.add(Counter::DatasetPasses, 1);
+    {
+        let _span = rec.span("ingest");
+        src.scan(&mut |i, p| {
+            if bad.is_some() {
+                return;
+            }
+            if let Err(e) = sketch.update(p) {
+                bad = Some((i, e.to_string()));
+                return;
+            }
+            if i < r_size {
+                res_points.push(p).expect("declared dimension");
+                res_indices.push(i);
+            } else {
+                let slot = rng.gen_range(0..=i);
+                if slot < r_size {
+                    res_points.point_mut(slot).copy_from_slice(p);
+                    res_indices[slot] = i;
+                    rec.add(Counter::ReservoirReplacements, 1);
+                }
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    }
+    if let Some((i, e)) = bad {
+        return Err(format!("stream ingest failed at point {i}: {e}"));
+    }
+    rec.add(Counter::SketchUpdates, sketch.points_ingested());
+    writeln!(
+        out,
+        "streamed {} points ({dim}d) into a {} sketch ({} KiB) + {}-point reservoir",
+        sketch.points_ingested(),
+        spec.label(),
+        sketch.memory_bytes() / 1024,
+        res_indices.len()
+    )
+    .map_err(io_err)?;
+
+    // Biased sample off the summary: one further pass, bounded memory.
+    let b = args.get_usize("size", 1000)?;
+    let a = args.get_f64("exponent", 1.0)?;
+    let cfg = BiasedConfig::new(b, a)
+        .with_seed(seed)
+        .with_parallelism(args.get_threads()?);
+    let (s, stats) = {
+        let _span = rec.span("sample");
+        one_pass_biased_sample_obs(src, &sketch, &cfg, rec).map_err(|e| e.to_string())?
+    };
+    writeln!(
+        out,
+        "sampled {} of {} points off the sketch (target {b}, a = {a}, normalizer k = {:.4e}, {} clipped)",
+        s.len(),
+        src.len(),
+        stats.normalizer_k,
+        stats.clipped
+    )
+    .map_err(io_err)?;
+
+    // Outputs in original coordinates, fetched back by index as in
+    // `sample`.
+    let original = input.select(s.source_indices(), rec)?;
+    if let Some(path) = args.get_str("output") {
+        write_text(Path::new(path), &original).map_err(|e| e.to_string())?;
+        writeln!(out, "wrote sample to {path}").map_err(io_err)?;
+    }
+    if let Some(path) = args.get_str("weights") {
+        let mut w = String::new();
+        for weight in s.weights() {
+            w.push_str(&format!("{weight}\n"));
+        }
+        std::fs::write(path, w).map_err(|e| e.to_string())?;
+        writeln!(out, "wrote weights to {path}").map_err(io_err)?;
+    }
+    if let Some(path) = args.get_str("reservoir-out") {
+        let mut sorted = res_indices.clone();
+        sorted.sort_unstable();
+        let reservoir = input.select(&sorted, rec)?;
+        write_text(Path::new(path), &reservoir).map_err(|e| e.to_string())?;
+        writeln!(out, "wrote reservoir to {path}").map_err(io_err)?;
+    }
+    if args.get_str("output").is_none() {
+        for p in original.iter().take(5) {
+            writeln!(out, "  {p:?}").map_err(io_err)?;
+        }
+        if original.len() > 5 {
+            writeln!(
+                out,
+                "  ... ({} more; use --output FILE)",
+                original.len() - 5
+            )
+            .map_err(io_err)?;
+        }
     }
     Ok(())
 }
@@ -935,6 +1089,109 @@ mod tests {
         }
         std::fs::remove_file(&file).ok();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_samples_off_the_sketch() {
+        let file = write_sample_file("stream");
+        let out_file = format!("{file}.stream");
+        let output = run_cli(&[
+            "stream",
+            &file,
+            "--size",
+            "100",
+            "--reservoir",
+            "50",
+            "--output",
+            &out_file,
+        ]);
+        assert!(output.contains("streamed 601 points (2d)"), "{output}");
+        assert!(output.contains("sketch:4:65536 sketch"), "{output}");
+        assert!(output.contains("50-point reservoir"), "{output}");
+        assert!(output.contains("sampled"), "{output}");
+        let written = read_text(Path::new(&out_file)).unwrap();
+        assert!(
+            written.len() > 30 && written.len() < 300,
+            "{}",
+            written.len()
+        );
+        // Sampled points come back in original coordinates.
+        let bb = written.bounding_box().unwrap();
+        assert!(bb.min()[0] >= 99.0 && bb.max()[0] <= 146.0);
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_file(&out_file).ok();
+    }
+
+    #[test]
+    fn stream_matches_over_shards_and_threads() {
+        // The stream pipeline must not depend on storage backing or thread
+        // count: sequential ingest plus keyed sampler draws make the whole
+        // run a pure function of (data, config).
+        let file = write_sample_file("stream_parity");
+        let dir = shard_dir("stream_parity");
+        run_cli(&["convert", &file, "--output", &dir]);
+        let mut outputs = Vec::new();
+        for input in [file.as_str(), dir.as_str()] {
+            for t in ["1", "7"] {
+                outputs.push(run_cli(&[
+                    "stream",
+                    input,
+                    "--size",
+                    "100",
+                    "--estimator",
+                    "sketch:4:4096",
+                    "--threads",
+                    t,
+                ]));
+            }
+        }
+        for o in &outputs[1..] {
+            assert_eq!(&outputs[0], o);
+        }
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_writes_metrics_with_sketch_counters() {
+        let file = write_sample_file("stream_metrics");
+        let metrics_file = format!("{file}.metrics.json");
+        let reservoir_file = format!("{file}.reservoir");
+        let output = run_cli(&[
+            "stream",
+            &file,
+            "--size",
+            "100",
+            "--reservoir",
+            "40",
+            "--reservoir-out",
+            &reservoir_file,
+            "--metrics-out",
+            &metrics_file,
+        ]);
+        assert!(output.contains("wrote reservoir"), "{output}");
+        let reservoir = read_text(Path::new(&reservoir_file)).unwrap();
+        assert_eq!(reservoir.len(), 40);
+        let json = std::fs::read_to_string(&metrics_file).unwrap();
+        assert!(json.contains("\"sketch_updates\": 601"), "{json}");
+        // Ingest + one-pass sample (the scaler pass is untracked).
+        assert!(json.contains("\"dataset_passes\": 2"), "{json}");
+        assert!(json.contains("\"name\": \"ingest\""), "{json}");
+        std::fs::remove_file(&file).ok();
+        std::fs::remove_file(&metrics_file).ok();
+        std::fs::remove_file(&reservoir_file).ok();
+    }
+
+    #[test]
+    fn stream_rejects_non_sketch_estimator() {
+        let file = write_sample_file("stream_badest");
+        let argv = ["stream", &file, "--estimator", "agrid:8"];
+        let args: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let parsed = parse(&args).unwrap();
+        let mut out = Vec::new();
+        let err = run(&parsed, &mut out).unwrap_err();
+        assert!(err.contains("sketch[:grids[:slots]]"), "{err}");
+        std::fs::remove_file(&file).ok();
     }
 
     #[test]

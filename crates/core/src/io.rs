@@ -19,6 +19,9 @@ use crate::scan::PointSource;
 
 const MAGIC: &[u8; 4] = b"DBS1";
 
+/// Magic + `u32` dim + `u64` count.
+const HEADER_BYTES: u64 = 16;
+
 /// Writes `data` in the text format: one point per line, values separated by
 /// a single space.
 pub fn write_text(path: &Path, data: &Dataset) -> Result<()> {
@@ -100,34 +103,60 @@ pub fn write_binary(path: &Path, data: &Dataset) -> Result<()> {
     Ok(())
 }
 
-fn read_header(r: &mut impl Read) -> Result<(usize, usize)> {
+/// Reads and validates the 16-byte header against the actual file size.
+///
+/// The header is untrusted input: a corrupt or hostile `(dim, len)` pair
+/// can overflow `dim * len * 8` (wrapping in release) or demand a buffer
+/// far past the bytes that exist. Every declared quantity is therefore
+/// checked-multiplied and cross-checked against `actual_bytes` before any
+/// caller sizes an allocation from it — the same exact-size discipline as
+/// the shard engine (`shard.rs`).
+fn read_header(r: &mut impl Read, actual_bytes: u64) -> Result<(usize, usize)> {
+    let corrupt = |message: String| Error::Parse { line: 0, message };
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(Error::Parse {
-            line: 0,
-            message: "bad magic, not a DBS1 file".into(),
-        });
+        return Err(corrupt("bad magic, not a DBS1 file".into()));
     }
     let mut dim_buf = [0u8; 4];
     r.read_exact(&mut dim_buf)?;
     let mut len_buf = [0u8; 8];
     r.read_exact(&mut len_buf)?;
-    let dim = u32::from_le_bytes(dim_buf) as usize;
-    let len = u64::from_le_bytes(len_buf) as usize;
+    let dim = u32::from_le_bytes(dim_buf);
+    let len = u64::from_le_bytes(len_buf);
     if dim == 0 {
-        return Err(Error::Parse {
-            line: 0,
-            message: "header declares dim 0".into(),
-        });
+        return Err(corrupt("header declares dim 0".into()));
     }
-    Ok((dim, len))
+    let expect = (dim as u64)
+        .checked_mul(len)
+        .and_then(|coords| coords.checked_mul(8))
+        .and_then(|bytes| bytes.checked_add(HEADER_BYTES))
+        .ok_or_else(|| {
+            corrupt(format!(
+                "header declares {len} points of dim {dim}: byte size overflows"
+            ))
+        })?;
+    if actual_bytes < expect {
+        return Err(corrupt(format!(
+            "truncated file: {actual_bytes} bytes, header promises {expect}"
+        )));
+    }
+    if actual_bytes > expect {
+        return Err(corrupt(format!(
+            "oversized file: {actual_bytes} bytes, header promises {expect}"
+        )));
+    }
+    Ok((dim as usize, len as usize))
 }
 
 /// Reads the binary format fully into memory.
 pub fn read_binary(path: &Path) -> Result<Dataset> {
-    let mut r = BufReader::new(File::open(path)?);
-    let (dim, len) = read_header(&mut r)?;
+    let file = File::open(path)?;
+    let actual = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+    let (dim, len) = read_header(&mut r, actual)?;
+    // `dim * len` cannot overflow or overshoot: the header validation
+    // above proved `dim * len * 8 + 16` equals the on-disk byte count.
     let mut flat = vec![0.0f64; dim * len];
     let mut buf = [0u8; 8];
     for v in flat.iter_mut() {
@@ -148,10 +177,13 @@ pub struct FileSource {
 }
 
 impl FileSource {
-    /// Opens a binary dataset file, reading only its header.
+    /// Opens a binary dataset file, reading only its header (validated
+    /// against the file's actual size).
     pub fn open(path: &Path) -> Result<Self> {
-        let mut r = BufReader::new(File::open(path)?);
-        let (dim, len) = read_header(&mut r)?;
+        let file = File::open(path)?;
+        let actual = file.metadata()?.len();
+        let mut r = BufReader::new(file);
+        let (dim, len) = read_header(&mut r, actual)?;
         Ok(FileSource {
             path: path.to_path_buf(),
             dim,
@@ -173,8 +205,10 @@ impl PointSource for FileSource {
         // Size the reader for wide rows: at least a few whole points per
         // refill even at high dimension, without shrinking below 64 KiB.
         let capacity = (1 << 16).max(self.dim * 8 * 64);
-        let mut r = BufReader::with_capacity(capacity, File::open(&self.path)?);
-        let (dim, len) = read_header(&mut r)?;
+        let file = File::open(&self.path)?;
+        let actual = file.metadata()?.len();
+        let mut r = BufReader::with_capacity(capacity, file);
+        let (dim, len) = read_header(&mut r, actual)?;
         if dim != self.dim || len != self.len {
             return Err(Error::Parse {
                 line: 0,
@@ -257,6 +291,108 @@ mod tests {
         let path = tmp("bad.dbs");
         std::fs::write(&path, b"NOPE____________").unwrap();
         assert!(read_binary(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A raw DBS1 file with an arbitrary (possibly lying) header.
+    fn write_raw(path: &Path, dim: u32, len: u64, coords: &[f64]) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&dim.to_le_bytes());
+        bytes.extend_from_slice(&len.to_le_bytes());
+        for &c in coords {
+            bytes.extend_from_slice(&c.to_le_bytes());
+        }
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    fn assert_parse_err(res: Result<Dataset>, needle: &str, case: &str) {
+        match res {
+            Err(Error::Parse { line: 0, message }) => {
+                assert!(message.contains(needle), "{case}: {message}");
+            }
+            other => panic!("{case}: expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_truncated_header() {
+        let path = tmp("short_header.dbs");
+        std::fs::write(&path, b"DBS1\x02\x00").unwrap();
+        assert!(matches!(read_binary(&path), Err(Error::Io(_))));
+        assert!(FileSource::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_truncated_body() {
+        let path = tmp("short_body.dbs");
+        // Header promises 5 points of dim 2; only 3 coordinates follow.
+        write_raw(&path, 2, 5, &[1.0, 2.0, 3.0]);
+        assert_parse_err(read_binary(&path), "truncated file", "read_binary");
+        assert_parse_err(
+            FileSource::open(&path).map(|_| Dataset::new(1)),
+            "truncated file",
+            "FileSource::open",
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_oversized_body() {
+        let path = tmp("long_body.dbs");
+        // Header promises 1 point of dim 2; two points follow.
+        write_raw(&path, 2, 1, &[1.0, 2.0, 3.0, 4.0]);
+        assert_parse_err(read_binary(&path), "oversized file", "read_binary");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_overflowing_dim_len_product() {
+        let path = tmp("overflow.dbs");
+        // dim * len * 8 wraps u64; a naive `vec![0.0; dim * len]` would
+        // OOM or mis-size the buffer. Must fail fast instead.
+        write_raw(&path, u32::MAX, u64::MAX / 2, &[]);
+        assert_parse_err(read_binary(&path), "overflows", "read_binary");
+        assert_parse_err(
+            FileSource::open(&path).map(|_| Dataset::new(1)),
+            "overflows",
+            "FileSource::open",
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_huge_declared_count() {
+        let path = tmp("huge_count.dbs");
+        // No arithmetic overflow, but the header demands ~64 GiB that the
+        // 16-byte file does not hold: size cross-check catches it before
+        // any allocation.
+        write_raw(&path, 1, 1 << 33, &[]);
+        assert_parse_err(read_binary(&path), "truncated file", "read_binary");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_rejects_zero_dim() {
+        let path = tmp("zero_dim.dbs");
+        write_raw(&path, 0, 10, &[]);
+        assert_parse_err(read_binary(&path), "dim 0", "read_binary");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_source_scan_revalidates_size() {
+        let path = tmp("shrunk.dbs");
+        let ds = sample();
+        write_binary(&path, &ds).unwrap();
+        let src = FileSource::open(&path).unwrap();
+        // Truncate the body after open: the per-scan re-validation must
+        // reject the pass instead of reading short.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 8]).unwrap();
+        let err = src.collect_dataset().unwrap_err();
+        assert!(err.to_string().contains("truncated file"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

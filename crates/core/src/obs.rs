@@ -90,10 +90,16 @@ pub enum Counter {
     ShardChunkReads,
     /// Bytes delivered out of mapped (or positionally read) shard storage.
     ShardBytesMapped,
+    /// Points ingested into a streaming density sketch (one per
+    /// `update`, whatever the schedule).
+    SketchUpdates,
+    /// Sketch merge operations: element-wise counter adds folding one
+    /// sketch (a chunk's or a shard's) into another.
+    SketchMerges,
 }
 
 /// Number of counters in the catalog.
-pub const COUNTER_COUNT: usize = 22;
+pub const COUNTER_COUNT: usize = 24;
 
 impl Counter {
     /// Every counter, in catalog (discriminant) order.
@@ -120,6 +126,8 @@ impl Counter {
         Counter::MapBackDistEvals,
         Counter::ShardChunkReads,
         Counter::ShardBytesMapped,
+        Counter::SketchUpdates,
+        Counter::SketchMerges,
     ];
 
     /// The counter's stable snake_case name (the JSON key).
@@ -147,6 +155,8 @@ impl Counter {
             Counter::MapBackDistEvals => "map_back_dist_evals",
             Counter::ShardChunkReads => "shard_chunk_reads",
             Counter::ShardBytesMapped => "shard_bytes_mapped",
+            Counter::SketchUpdates => "sketch_updates",
+            Counter::SketchMerges => "sketch_merges",
         }
     }
 }

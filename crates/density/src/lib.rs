@@ -24,10 +24,13 @@
 //!   `m` randomly shifted uniform grids averaged at query time. O(1)
 //!   queries independent of both `n` and the kernel-center count, making
 //!   it the sub-linear backend for high-dimensional runs.
+//! * [`DensitySketch`] — a streaming Count-Min shifted-grid sketch:
+//!   one-pass incremental `update`, element-wise `merge`, bounded memory
+//!   regardless of stream length. The ingest path for unbounded sources.
 //!
 //! Callers pick a backend through [`EstimatorSpec`] — a parse-from-string
 //! configuration (`kde:1000`, `grid:32`, `hashgrid`, `wavelet:5`,
-//! `agrid:8`, …) whose [`EstimatorSpec::fit`] returns a boxed
+//! `agrid:8`, `sketch:4:65536`, …) whose [`EstimatorSpec::fit`] returns a boxed
 //! [`DensityEstimator`], so the CLI and experiment harness never hardwire
 //! a concrete estimator type.
 //!
@@ -45,6 +48,7 @@ pub mod grid;
 pub mod hashgrid;
 pub mod kde;
 pub mod kernel;
+pub mod sketch;
 pub mod spec;
 pub mod traits;
 pub mod wavelet;
@@ -55,6 +59,7 @@ pub use grid::GridEstimator;
 pub use hashgrid::HashGridEstimator;
 pub use kde::{KdeConfig, KernelDensityEstimator};
 pub use kernel::Kernel;
+pub use sketch::{DensitySketch, SketchConfig};
 pub use spec::{EstimatorKind, EstimatorSpec};
 pub use traits::{batch_densities, batch_densities_obs, DensityEstimator};
 pub use wavelet::WaveletEstimator;

@@ -17,6 +17,7 @@ use crate::grid::GridEstimator;
 use crate::hashgrid::HashGridEstimator;
 use crate::kde::{KdeConfig, KernelDensityEstimator};
 use crate::kernel::Kernel;
+use crate::sketch::{DensitySketch, SketchConfig};
 use crate::traits::DensityEstimator;
 use crate::wavelet::WaveletEstimator;
 
@@ -57,6 +58,13 @@ pub enum EstimatorKind {
         grids: usize,
         /// Cells per dimension; `None` = dimension-dependent default.
         resolution: Option<usize>,
+    },
+    /// Streaming Count-Min shifted-grid sketch.
+    Sketch {
+        /// Count-Min depth `m` (hashed shifted grids).
+        grids: usize,
+        /// Counters per grid row.
+        slots: usize,
     },
 }
 
@@ -102,8 +110,9 @@ impl EstimatorSpec {
     ///
     /// Accepted forms (parameters optional, defaults in parentheses):
     /// `kde[:centers]` (1000), `grid[:res]` (32), `hashgrid[:res[:slots]]`
-    /// (32, 65536), `wavelet[:levels[:coeffs]]` (5, 256), and
-    /// `agrid[:m[:res]]` (8 grids, auto resolution). Seed and domain start
+    /// (32, 65536), `wavelet[:levels[:coeffs]]` (5, 256),
+    /// `agrid[:m[:res]]` (8 grids, auto resolution), and
+    /// `sketch[:m[:slots]]` (4 rows, 65536 slots). Seed and domain start
     /// at their defaults; adjust with [`Self::with_seed`] /
     /// [`Self::with_domain`].
     pub fn parse(spec: &str) -> Result<Self> {
@@ -180,10 +189,22 @@ impl EstimatorSpec {
                 };
                 EstimatorKind::Agrid { grids, resolution }
             }
+            "sketch" => {
+                too_many(2)?;
+                let grids = match params.first() {
+                    Some(v) => parse_field(spec, "grids", v)?,
+                    None => 4,
+                };
+                let slots = match params.get(1) {
+                    Some(v) => parse_field(spec, "slots", v)?,
+                    None => 1 << 16,
+                };
+                EstimatorKind::Sketch { grids, slots }
+            }
             _ => {
                 return Err(invalid(
                     spec,
-                    "unknown backend (expected kde, grid, hashgrid, wavelet, or agrid)",
+                    "unknown backend (expected kde, grid, hashgrid, wavelet, agrid, or sketch)",
                 ))
             }
         };
@@ -223,6 +244,7 @@ impl EstimatorSpec {
                 Some(r) => format!("agrid:{grids}:{r}"),
                 None => format!("agrid:{grids}"),
             },
+            EstimatorKind::Sketch { grids, slots } => format!("sketch:{grids}:{slots}"),
         }
     }
 
@@ -285,6 +307,16 @@ impl EstimatorSpec {
                     seed: self.seed,
                 };
                 Box::new(AveragedGridEstimator::fit(source, &cfg)?)
+            }
+            EstimatorKind::Sketch { grids, slots } => {
+                let cfg = SketchConfig {
+                    grids: *grids,
+                    slots: *slots,
+                    resolution: None,
+                    domain: Some(domain),
+                    seed: self.seed,
+                };
+                Box::new(DensitySketch::fit(source, &cfg)?)
             }
         })
     }
@@ -357,6 +389,24 @@ mod tests {
                 resolution: Some(20),
             }
         );
+        assert_eq!(
+            EstimatorSpec::parse("sketch").unwrap().kind,
+            EstimatorKind::Sketch {
+                grids: 4,
+                slots: 1 << 16,
+            }
+        );
+        assert_eq!(
+            EstimatorSpec::parse("sketch:8:1024").unwrap().kind,
+            EstimatorKind::Sketch {
+                grids: 8,
+                slots: 1024,
+            }
+        );
+        assert_eq!(
+            EstimatorSpec::parse("sketch:8:1024").unwrap().label(),
+            "sketch:8:1024"
+        );
     }
 
     #[test]
@@ -369,6 +419,8 @@ mod tests {
             "grid:-1",
             "hashgrid:8:8:8",
             "agrid:x",
+            "sketch:4:16:2",
+            "sketch:y",
         ] {
             let err = EstimatorSpec::parse(bad).unwrap_err();
             assert!(err.to_string().contains("estimator spec"), "{bad}: {err}");
@@ -384,6 +436,7 @@ mod tests {
             "hashgrid:16",
             "wavelet:4:64",
             "agrid:4",
+            "sketch:4:4096",
         ] {
             let est = EstimatorSpec::parse(spec).unwrap().fit(&ds).unwrap();
             assert_eq!(est.dim(), 2, "{spec}");

@@ -186,7 +186,7 @@ pub fn backend_ablation(scale: Scale, seed: u64) -> Result<Vec<(String, usize)>>
         Ok((tag.to_string(), found))
     };
 
-    let substrates: [(String, &str); 5] = [
+    let substrates: [(String, &str); 6] = [
         (format!("kde:{}", scale.kernels()), "kde-1000"),
         ("grid:32".into(), "grid-32"),
         ("hashgrid:32:64".into(), "hashgrid-32/64-slots"), // tiny table
@@ -196,6 +196,9 @@ pub fn backend_ablation(scale: Scale, seed: u64) -> Result<Vec<(String, usize)>>
             "wavelet-32/m=kernels",
         ),
         ("agrid:8".into(), "agrid-8"),
+        // The mergeable streaming summary: agrid's ensemble behind
+        // Count-Min hashed counter rows.
+        ("sketch:4:65536".into(), "sketch-4/64k-slots"),
     ];
     let mut rows = Vec::new();
     for (spec, tag) in &substrates {

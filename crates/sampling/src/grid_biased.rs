@@ -12,11 +12,18 @@
 //! Keeping the hash table (instead of an exact cell map) is deliberate:
 //! the quality degradation caused by collisions is part of what the
 //! paper's comparison measures.
+//!
+//! Like every other sampler in this crate, the inclusion draw for point
+//! `i` is a counter-based hash of `(seed, i)`
+//! ([`dbs_core::rng::keyed_unit`]), not a stateful generator — the sample
+//! is a pure function of (data, config) whatever order the source is
+//! scanned in, and [`grid_biased_sample_obs`] records passes and clip
+//! events without perturbing it.
 
-use dbs_core::rng::seeded;
+use dbs_core::obs::{Counter, Recorder};
+use dbs_core::rng::keyed_unit;
 use dbs_core::{BoundingBox, Dataset, Error, PointSource, Result, WeightedSample};
 use dbs_density::{DensityEstimator, HashGridEstimator};
-use rand::Rng;
 
 use crate::biased::BiasedSampleStats;
 
@@ -71,6 +78,19 @@ pub fn grid_biased_sample<S: PointSource + ?Sized>(
     source: &S,
     config: &GridBiasedConfig,
 ) -> Result<(WeightedSample, BiasedSampleStats)> {
+    grid_biased_sample_obs(source, config, &Recorder::disabled())
+}
+
+/// [`grid_biased_sample`] with metrics: records the three dataset passes
+/// (grid fit, normalizer, inclusion) and the clip count into `recorder`.
+/// The sample and stats are byte-identical to the plain entry point
+/// whether the recorder is enabled or not (this *is* the implementation
+/// the plain entry point runs with a disabled recorder).
+pub fn grid_biased_sample_obs<S: PointSource + ?Sized>(
+    source: &S,
+    config: &GridBiasedConfig,
+    recorder: &Recorder,
+) -> Result<(WeightedSample, BiasedSampleStats)> {
     let n = source.len();
     if n == 0 {
         return Err(Error::InvalidParameter(
@@ -80,6 +100,18 @@ pub fn grid_biased_sample<S: PointSource + ?Sized>(
     if config.target_size == 0 {
         return Err(Error::InvalidParameter("target_size must be >= 1".into()));
     }
+    if config.cells_per_dim == 0 {
+        return Err(Error::InvalidParameter("cells_per_dim must be >= 1".into()));
+    }
+    if config.table_slots == 0 {
+        return Err(Error::InvalidParameter("table_slots must be >= 1".into()));
+    }
+    if !config.exponent.is_finite() {
+        return Err(Error::InvalidParameter(format!(
+            "exponent must be finite, got {}",
+            config.exponent
+        )));
+    }
     let dim = source.dim();
     let domain = config
         .domain
@@ -87,6 +119,7 @@ pub fn grid_biased_sample<S: PointSource + ?Sized>(
         .unwrap_or_else(|| BoundingBox::unit(dim));
 
     // Pass 1: hashed cell counts.
+    recorder.add(Counter::DatasetPasses, 1);
     let est = HashGridEstimator::fit(source, domain, config.cells_per_dim, config.table_slots)?;
 
     // Normalizer K = Σ_x c(x)^e, where c(x) is the hashed count of the cell
@@ -95,6 +128,7 @@ pub fn grid_biased_sample<S: PointSource + ?Sized>(
     let cell_volume = est.cell_volume();
     let e = config.exponent;
     let mut k_norm = 0.0f64;
+    recorder.add(Counter::DatasetPasses, 1);
     source.scan(&mut |_, x| {
         let count = est.density(x) * cell_volume;
         k_norm += count.max(1.0).powf(e);
@@ -105,13 +139,14 @@ pub fn grid_biased_sample<S: PointSource + ?Sized>(
         )));
     }
 
-    // Pass 2: sample.
+    // Pass 2: sample. The inclusion draw for point i is keyed on
+    // (seed, i), so the decision set does not depend on scan order.
     let b = config.target_size as f64;
-    let mut rng = seeded(config.seed);
     let mut points = Dataset::with_capacity(dim, config.target_size + 16);
     let mut weights = Vec::with_capacity(config.target_size + 16);
     let mut indices = Vec::with_capacity(config.target_size + 16);
     let mut clipped = 0usize;
+    recorder.add(Counter::DatasetPasses, 1);
     source.scan(&mut |i, x| {
         let count = (est.density(x) * cell_volume).max(1.0);
         let raw = b * count.powf(e) / k_norm;
@@ -121,12 +156,13 @@ pub fn grid_biased_sample<S: PointSource + ?Sized>(
         } else {
             raw
         };
-        if rng.gen::<f64>() < p {
+        if keyed_unit(config.seed, i as u64) < p {
             points.push(x).expect("declared dimension");
             weights.push(1.0 / p);
             indices.push(i);
         }
     })?;
+    recorder.add(Counter::SamplerClipEvents, clipped as u64);
 
     let stats = BiasedSampleStats {
         normalizer_k: k_norm,
@@ -140,6 +176,7 @@ pub fn grid_biased_sample<S: PointSource + ?Sized>(
 mod tests {
     use super::*;
     use dbs_core::rng::seeded;
+    use rand::Rng;
 
     fn two_blobs(n: usize, seed: u64) -> Dataset {
         let mut rng = seeded(seed);
@@ -206,6 +243,36 @@ mod tests {
         assert!(grid_biased_sample(&Dataset::new(2), &GridBiasedConfig::new(5, -0.5)).is_err());
         let ds = two_blobs(100, 9);
         assert!(grid_biased_sample(&ds, &GridBiasedConfig::new(0, -0.5)).is_err());
+        // Degenerate grid/table/exponent settings must fail up front with
+        // a parameter error, not as a downstream normalizer surprise.
+        let mut no_cells = GridBiasedConfig::new(5, -0.5);
+        no_cells.cells_per_dim = 0;
+        let err = grid_biased_sample(&ds, &no_cells).unwrap_err();
+        assert!(err.to_string().contains("cells_per_dim"), "{err}");
+        let mut no_slots = GridBiasedConfig::new(5, -0.5);
+        no_slots.table_slots = 0;
+        let err = grid_biased_sample(&ds, &no_slots).unwrap_err();
+        assert!(err.to_string().contains("table_slots"), "{err}");
+        for bad_e in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = grid_biased_sample(&ds, &GridBiasedConfig::new(5, bad_e)).unwrap_err();
+            assert!(err.to_string().contains("exponent"), "{bad_e}: {err}");
+        }
+    }
+
+    #[test]
+    fn obs_variant_counts_passes_without_perturbing_sample() {
+        let ds = two_blobs(5000, 12);
+        let cfg = GridBiasedConfig::new(200, -0.5).with_seed(13);
+        let (plain, plain_stats) = grid_biased_sample(&ds, &cfg).unwrap();
+        let rec = Recorder::enabled();
+        let (obs, obs_stats) = grid_biased_sample_obs(&ds, &cfg, &rec).unwrap();
+        assert_eq!(plain.source_indices(), obs.source_indices());
+        assert_eq!(plain_stats, obs_stats);
+        assert_eq!(rec.counter(Counter::DatasetPasses), 3);
+        assert_eq!(
+            rec.counter(Counter::SamplerClipEvents),
+            obs_stats.clipped as u64
+        );
     }
 
     #[test]

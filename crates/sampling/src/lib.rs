@@ -33,7 +33,7 @@ pub mod uniform;
 pub use biased::{
     density_biased_sample, density_biased_sample_obs, BiasedConfig, BiasedSampleStats,
 };
-pub use grid_biased::{grid_biased_sample, GridBiasedConfig};
+pub use grid_biased::{grid_biased_sample, grid_biased_sample_obs, GridBiasedConfig};
 pub use onepass::{one_pass_biased_sample, one_pass_biased_sample_obs};
 pub use reservoir::{
     reservoir_sample, reservoir_sample_obs, reservoir_sample_skip, reservoir_sample_skip_obs,

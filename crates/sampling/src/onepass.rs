@@ -276,7 +276,14 @@ mod tests {
     #[test]
     fn summary_normalizer_close_to_exact_for_sublinear_backends() {
         let ds = two_blobs(20_000, 8);
-        for (spec, tol) in [("grid:16", 1e-9), ("hashgrid:16", 1e-9), ("agrid:8", 0.25)] {
+        for (spec, tol) in [
+            ("grid:16", 1e-9),
+            ("hashgrid:16", 1e-9),
+            ("agrid:8", 0.25),
+            // Row-0 normalizer vs row-averaged query: cell-boundary
+            // disagreement only, same band as agrid's probe estimate.
+            ("sketch:4:65536", 0.25),
+        ] {
             let est = EstimatorSpec::parse(spec)
                 .unwrap()
                 .with_seed(3)
@@ -315,6 +322,30 @@ mod tests {
         assert_eq!(stats.passes, 1);
         let size = s.len() as f64;
         assert!((size - 800.0).abs() < 200.0, "size {size}");
+    }
+
+    #[test]
+    fn one_pass_with_sketch_backend() {
+        // The streaming summary feeds the one-pass sampler directly: fit a
+        // sketch, then draw the biased sample in a single further pass.
+        let ds = two_blobs(20_000, 9);
+        let est = EstimatorSpec::parse("sketch:4:65536")
+            .unwrap()
+            .with_seed(5)
+            .with_domain(BoundingBox::unit(2))
+            .fit(&ds)
+            .unwrap();
+        let counted = dbs_core::scan::PassCounter::new(&ds);
+        let (s, stats) =
+            one_pass_biased_sample(&counted, &*est, &BiasedConfig::new(800, 1.0).with_seed(11))
+                .unwrap();
+        assert_eq!(counted.passes(), 1);
+        assert_eq!(stats.passes, 1);
+        let size = s.len() as f64;
+        assert!((size - 800.0).abs() < 200.0, "size {size}");
+        // a = 1 oversamples the dense blob, as with the exact backends.
+        let dense_frac = s.points().iter().filter(|p| p[0] < 0.5).count() as f64 / s.len() as f64;
+        assert!(dense_frac > 0.93, "dense fraction {dense_frac}");
     }
 
     #[test]

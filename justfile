@@ -65,3 +65,11 @@ bench-cure-highdim:
 # SHARD_SCAN_FULL=1 for a 1M-point smoke version.
 bench-shard:
     SHARD_SCAN_FULL=1 CRITERION_JSON=BENCH_shard_scan.json cargo bench -p dbs-bench --bench shard_scan
+
+# Streaming sketch service: one-pass fit throughput and merge cost for the
+# Count-Min density sketch, plus the >=1M-point bounded-memory proof that
+# a biased sample drawn off the sketch matches the exact dense grid
+# (allocation TV <= 0.05, size within 10%, normalizer within 25%),
+# recorded as BENCH_stream_sketch.json.
+bench-stream:
+    CRITERION_JSON=BENCH_stream_sketch.json cargo bench -p dbs-bench --bench stream_sketch

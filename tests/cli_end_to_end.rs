@@ -114,6 +114,7 @@ fn sample_output_is_thread_count_invariant_for_every_estimator() {
         "hashgrid:16",
         "wavelet:4:64",
         "agrid:4",
+        "sketch:3:4096",
     ] {
         let mut baseline: Option<(String, String)> = None;
         for threads in ["1", "2", "7"] {
